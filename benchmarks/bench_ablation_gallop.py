@@ -1,0 +1,75 @@
+"""A1 — ablation: galloping vs stepping as skew varies.
+
+Intersect two sparse vectors whose nonzero counts differ by a swept
+ratio.  Stepping costs O(nnz_a + nnz_b); galloping costs
+O(min * log(max/min)).  The crossover (galloping wins once the skew is
+large) is the design rationale for jumper-before-stepper priority in
+Section 6.2.
+"""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.bench.harness import Table
+
+N = 20000
+SMALL = 12
+RATIOS = (1, 4, 16, 64, 256)
+
+
+def vectors(ratio, seed=0):
+    rng = np.random.default_rng(seed)
+    a = np.zeros(N)
+    a[rng.choice(N, SMALL, replace=False)] = 1.0
+    b = np.zeros(N)
+    b[rng.choice(N, SMALL * ratio, replace=False)] = 1.0
+    return a, b
+
+
+def intersect_kernel(a, b, proto, instrument=False):
+    A = fl.from_numpy(a, ("sparse",), name="A")
+    B = fl.from_numpy(b, ("sparse",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    marker = {"walk": fl.walk, "gallop": fl.gallop}[proto]
+    prog = fl.forall(i, fl.increment(
+        C[()], fl.access(A, marker(i)) * fl.access(B, marker(i))))
+    return fl.compile_kernel(prog, instrument=instrument), C
+
+
+@pytest.mark.parametrize("proto", ["walk", "gallop"])
+@pytest.mark.parametrize("ratio", [1, 256])
+def test_intersection(benchmark, proto, ratio):
+    a, b = vectors(ratio, seed=5)
+    kernel, C = intersect_kernel(a, b, proto)
+    benchmark(kernel.run)
+    assert C.value == pytest.approx(float(a @ b))
+
+
+def test_report_gallop_crossover(benchmark, write_report):
+    table = Table("Ablation A1: stepping vs galloping intersection work",
+                  ["nnz ratio", "walk ops", "gallop ops",
+                   "gallop speedup"])
+    speedups = {}
+    for ratio in RATIOS:
+        a, b = vectors(ratio, seed=5)
+        expected = float(a @ b)
+        walk_kernel, walk_c = intersect_kernel(a, b, "walk",
+                                               instrument=True)
+        walk_ops = walk_kernel.run()
+        assert walk_c.value == pytest.approx(expected)
+        gallop_kernel, gallop_c = intersect_kernel(a, b, "gallop",
+                                                   instrument=True)
+        gallop_ops = gallop_kernel.run()
+        assert gallop_c.value == pytest.approx(expected)
+        speedups[ratio] = walk_ops / max(gallop_ops, 1)
+        table.add(ratio, walk_ops, gallop_ops, speedups[ratio])
+    write_report("ablation_gallop", [table])
+    # Galloping must win increasingly as the skew grows, and by a lot
+    # at the extreme.
+    assert speedups[256] > speedups[1]
+    assert speedups[256] > 10.0
+    a, b = vectors(256, seed=5)
+    kernel, _ = intersect_kernel(a, b, "gallop")
+    benchmark(kernel.run)

@@ -1,0 +1,84 @@
+"""E2/E3 — Figure 7: SpMSpV coiteration strategies.
+
+``y[i] += A[i,j] * x[j]`` with the merge in the inner loop, over a
+Harwell-Boeing-like matrix suite, under two x regimes: 10% dense
+(Fig. 7a) and exactly 10 nonzeros (Fig. 7b).  Strategies: two-finger
+walk, leader A (gallop A), follower A (gallop x), both galloping, and
+the VBL format.  The TACO-model baseline is the hand-written two-finger
+merge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import twofinger
+from repro.bench.harness import Table, summarize
+from repro.bench.kernels import SPMSPV_STRATEGIES, spmspv
+from repro.workloads import matrices
+
+N = 250
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return matrices.harwell_boeing_like_suite(N, seed=0)
+
+
+def make_x(regime, seed=0):
+    if regime == "dense10pct":
+        return matrices.sparse_vector(N, density=0.10, seed=seed)
+    return matrices.sparse_vector(N, count=10, seed=seed)
+
+
+@pytest.mark.parametrize("strategy", SPMSPV_STRATEGIES)
+@pytest.mark.parametrize("regime", ["dense10pct", "count10"])
+def test_spmspv_strategy(benchmark, suite, strategy, regime):
+    mat = suite["pores_like_clustered"]
+    vec = make_x(regime, seed=7)
+    kernel, y = spmspv(mat, vec, strategy)
+    benchmark(kernel.run)
+    np.testing.assert_allclose(y.to_numpy(), mat @ vec)
+
+
+@pytest.mark.parametrize("regime", ["dense10pct", "count10"])
+def test_spmspv_taco_baseline(benchmark, suite, regime):
+    mat = suite["pores_like_clustered"]
+    vec = make_x(regime, seed=7)
+    pos, idx, val = twofinger.csr_of(mat)
+    x_idx, x_val = twofinger.coords_of(vec)
+    result = benchmark(lambda: twofinger.spmspv_merge(
+        pos, idx, val, x_idx, x_val, mat.shape[0]))
+    np.testing.assert_allclose(result[0], mat @ vec)
+
+
+@pytest.mark.parametrize("regime", ["dense10pct", "count10"])
+def test_report_fig7(benchmark, suite, regime, write_report):
+    """Work-count speedups over the TACO-model merge, across the suite
+    (the boxes of Figure 7 as min/median/max)."""
+    vec = make_x(regime, seed=7)
+    speedups = {s: [] for s in SPMSPV_STRATEGIES}
+    for name, mat in suite.items():
+        pos, idx, val = twofinger.csr_of(mat)
+        x_idx, x_val = twofinger.coords_of(vec)
+        ref, merge_steps = twofinger.spmspv_merge(
+            pos, idx, val, x_idx, x_val, mat.shape[0])
+        for strategy in SPMSPV_STRATEGIES:
+            kernel, y = spmspv(mat, vec, strategy, instrument=True)
+            ops = kernel.run()
+            np.testing.assert_allclose(y.to_numpy(), ref)
+            speedups[strategy].append(merge_steps / max(ops, 1))
+    table = Table("Figure 7 (%s): SpMSpV work speedup vs two-finger "
+                  "merge over HB-like suite" % regime,
+                  ["strategy", "min", "median", "max"])
+    for strategy, values in speedups.items():
+        lo, mid, hi = summarize(values)
+        table.add(strategy, lo, mid, hi)
+    write_report("fig7_spmspv_%s" % regime, [table])
+    if regime == "count10":
+        # With a very sparse x, skipping strategies beat plain walking
+        # somewhere in the suite (the paper's big-win regime).
+        best_skip = max(max(speedups["follow_A"]),
+                        max(speedups["vbl"]))
+        assert best_skip > max(speedups["walk_walk"])
+    kernel, _ = spmspv(suite["pores_like_clustered"], vec, "walk_walk")
+    benchmark(kernel.run)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Each figure's module both *times* the compiled kernels (pytest-
+benchmark) and regenerates the paper's table/figure as deterministic
+operation counts, written to ``benchmarks/reports/<name>.txt`` so the
+results survive output capture (they are summarized in
+EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    def _write(name, tables):
+        path = os.path.join(report_dir, name + ".txt")
+        rendered = "\n\n".join(table.render() for table in tables)
+        with open(path, "w") as handle:
+            handle.write(rendered + "\n")
+        print()
+        print(rendered)
+        return path
+
+    return _write

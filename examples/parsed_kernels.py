@@ -1,0 +1,66 @@
+"""Writing kernels as text: the CIN parser front end.
+
+Every kernel in the other examples can be written the way the paper
+prints them.  The parser understands foralls (with optional extents),
+protocol annotations (``::gallop``), index modifiers (``permit``,
+``offset``, ``window``), reductions, comparisons and scalar
+parameters.
+
+Run:  python examples/parsed_kernels.py
+"""
+
+import numpy as np
+
+import repro.lang as fl
+from repro.cin.parser import parse
+from repro.workloads import matrices
+
+
+def main():
+    n = 60
+    mat = matrices.clustered_matrix(n, n, 3, 8, seed=1)
+    vec = matrices.sparse_vector(n, count=6, seed=2)
+
+    A = fl.from_numpy(mat, ("dense", "sparse"), name="A")
+    x = fl.from_numpy(vec, ("sparse",), name="x")
+    y = fl.zeros(n, name="y")
+    tensors = {"A": A, "x": x, "y": y}
+
+    # SpMSpV with a galloping vector.
+    prog = parse("forall i, j: y[i] += A[i, j] * x[j::gallop]", tensors)
+    fl.execute(prog)
+    assert np.allclose(y.to_numpy(), mat @ vec)
+    print("spmspv:        y == A @ x")
+
+    # Row maxima via a reduction operator.
+    m = fl.zeros(n, name="m")
+    prog = parse("forall i, j: m[i] max= A[i, j]", {"A": A, "m": m})
+    fl.execute(prog)
+    assert np.allclose(m.to_numpy(), mat.max(axis=1))
+    print("row maxima:    m[i] == max_j A[i, j]")
+
+    # Shifted correlation with a scalar parameter and padding.
+    a = matrices.sparse_vector(n, density=0.3, seed=3)
+    Av = fl.from_numpy(a, ("sparse",), name="Av")
+    C = fl.Scalar(name="C")
+    prog = parse(
+        "forall i: C[] += scale * coalesce(Av[permit(offset(i, 3))], 0) "
+        "* Av[i]",
+        {"Av": Av, "C": C}, scalars={"scale": 0.5})
+    fl.execute(prog)
+    expected = 0.5 * sum(a[k - 3] * a[k] for k in range(3, n))
+    assert abs(C.value - expected) < 1e-9
+    print("correlation:   C == 0.5 * sum A[i-3] A[i]")
+
+    # Counting entries above a threshold in a window.
+    count = fl.Scalar(name="count")
+    prog = parse(
+        "forall k: count[] += (Av[window(k, 10, 40)] > 0) && 1",
+        {"Av": Av, "count": count})
+    fl.execute(prog)
+    assert count.value == np.count_nonzero(a[10:40] > 0)
+    print("windowed scan: count == nnz(A[10:40])")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Triangle counting with galloping intersections (Figure 8).
+
+``C[] += A[i,j] && A[j,k] && A[k,i]`` on a power-law graph.  The
+innermost loop intersects two adjacency rows; switching its protocol
+from walking to galloping turns long-vs-short intersections into
+logarithmic skips.
+
+Run:  python examples/triangle_counting.py
+"""
+
+from repro.baselines import twofinger
+from repro.bench.harness import Table
+from repro.bench.kernels import triangle_count
+from repro.workloads import graphs
+
+
+def main():
+    adj = graphs.hub_adjacency(140, hubs=3, p=0.02, seed=9)
+    expected = graphs.triangle_count_reference(adj)
+
+    table = Table("Triangle counting on a hub graph (140 vertices)",
+                  ["strategy", "triangles (x6)", "work (ops)"])
+
+    pos, idx = graphs.adjacency_to_csr(adj)
+    count, steps = twofinger.triangle_count_merge(pos, idx, adj.shape[0])
+    table.add("two-finger merge (TACO model)", count, steps)
+
+    for protocol in ("walk", "gallop"):
+        kernel, C = triangle_count(adj, protocol, instrument=True)
+        ops = kernel.run()
+        assert C.value == expected
+        table.add("looplets " + protocol, int(C.value), ops)
+
+    table.show()
+    print("\nEach triangle is counted 6 times (ordered vertex triples),"
+          "\nexactly as in the paper's kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Looplets: a language for structured coiteration (CGO 2023).
+
+A Python reproduction of the Looplet language and the Finch compiler.
+The public surface lives in :mod:`repro.lang`; subpackages follow the
+paper's structure: looplets, CIN, formats, the compiler, and rewrite
+rules.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,7 @@
+"""Baselines: TACO-style two-finger merges, dense loops, and a CIN
+reference interpreter used as the correctness oracle."""
+
+from repro.baselines.reference import Interpreter, interpret
+from repro.baselines import dense_ref, twofinger
+
+__all__ = ["Interpreter", "interpret", "dense_ref", "twofinger"]

@@ -1,0 +1,210 @@
+"""Iterator-over-nonzeros baselines (the TACO model of Figure 1, left).
+
+These kernels implement the classic two-finger merge over sorted
+coordinate lists: every nonzero of every operand is visited until one
+list is exhausted.  They are written in the same execution model as the
+compiled Finch kernels (plain Python loops over numpy buffers), so the
+*relative* factors between them and the looplet kernels are meaningful;
+comparing interpreted Python against C would only measure interpreter
+overhead (see DESIGN.md).
+
+Each function also returns an operation count — the number of merge
+steps taken — mirroring the instrumented looplet kernels.
+"""
+
+import numpy as np
+
+from repro.util.errors import DimensionError
+
+
+def coords_of(vec):
+    """Sorted (idx, val) arrays of a dense numpy vector's nonzeros."""
+    vec = np.asarray(vec)
+    idx = np.nonzero(vec)[0]
+    return idx.astype(np.int64), vec[idx]
+
+
+def csr_of(mat):
+    """(pos, idx, val) CSR arrays of a dense numpy matrix."""
+    mat = np.asarray(mat)
+    pos = [0]
+    idx = []
+    val = []
+    for row in mat:
+        nonzeros = np.nonzero(row)[0]
+        idx.extend(nonzeros.tolist())
+        val.extend(row[nonzeros].tolist())
+        pos.append(len(idx))
+    return (np.array(pos, dtype=np.int64), np.array(idx, dtype=np.int64),
+            np.array(val))
+
+
+def dot_merge(a_idx, a_val, b_idx, b_val):
+    """Two-finger merged dot product (Figure 1b, left).
+
+    Returns ``(value, merge_steps)``.
+    """
+    total = 0.0
+    steps = 0
+    p, q = 0, 0
+    np_, nq = len(a_idx), len(b_idx)
+    while p < np_ and q < nq:
+        steps += 1
+        ia = a_idx[p]
+        ib = b_idx[q]
+        if ia == ib:
+            total += a_val[p] * b_val[q]
+            p += 1
+            q += 1
+        elif ia < ib:
+            p += 1
+        else:
+            q += 1
+    return total, steps
+
+
+def spmspv_merge(pos, idx, val, x_idx, x_val, n_rows):
+    """SpMSpV where every row of A is two-finger merged with x.
+
+    The paper's Figure 7 baseline: ``y[i] += A[i, j] * x[j]`` with the
+    merge in the inner loop.  Returns ``(y, merge_steps)``.
+    """
+    y = np.zeros(n_rows)
+    steps = 0
+    for i in range(n_rows):
+        p = pos[i]
+        p_end = pos[i + 1]
+        q = 0
+        nq = len(x_idx)
+        acc = 0.0
+        while p < p_end and q < nq:
+            steps += 1
+            ia = idx[p]
+            ib = x_idx[q]
+            if ia == ib:
+                acc += val[p] * x_val[q]
+                p += 1
+                q += 1
+            elif ia < ib:
+                p += 1
+            else:
+                q += 1
+        y[i] = acc
+    return y, steps
+
+
+def intersect_merge(a_idx, b_idx):
+    """Count of shared coordinates by two-finger merge; returns
+    ``(count, merge_steps)``."""
+    count = 0
+    steps = 0
+    p, q = 0, 0
+    np_, nq = len(a_idx), len(b_idx)
+    while p < np_ and q < nq:
+        steps += 1
+        ia = a_idx[p]
+        ib = b_idx[q]
+        if ia == ib:
+            count += 1
+            p += 1
+            q += 1
+        elif ia < ib:
+            p += 1
+        else:
+            q += 1
+    return count, steps
+
+
+def intersect_gallop(a_idx, b_idx):
+    """Galloping (mutual lookahead) intersection via binary search.
+
+    The hand-written analogue of the looplet gallop protocol; used by
+    the benchmarks to sanity-check the compiled kernels' asymptotics.
+    Returns ``(count, search_steps)``.
+    """
+    from bisect import bisect_left
+
+    count = 0
+    steps = 0
+    p, q = 0, 0
+    np_, nq = len(a_idx), len(b_idx)
+    while p < np_ and q < nq:
+        steps += 1
+        ia = a_idx[p]
+        ib = b_idx[q]
+        if ia == ib:
+            count += 1
+            p += 1
+            q += 1
+        elif ia < ib:
+            p = bisect_left(a_idx, ib, p, np_)
+        else:
+            q = bisect_left(b_idx, ia, q, nq)
+    return count, steps
+
+
+def triangle_count_merge(pos, idx, n):
+    """Triangle counting with two-finger merged neighbor intersections.
+
+    ``C += A[i,j] * A[j,k] * A[k,i]`` for a boolean CSR adjacency;
+    counts ordered wedge closures exactly like the CIN kernel.  Returns
+    ``(count, merge_steps)``.
+    """
+    total = 0
+    steps = 0
+    for i in range(n):
+        for p in range(pos[i], pos[i + 1]):
+            j = idx[p]
+            # intersect row j with row i (k such that A[j,k] and A[i,k])
+            a, a_end = pos[j], pos[j + 1]
+            b, b_end = pos[i], pos[i + 1]
+            while a < a_end and b < b_end:
+                steps += 1
+                ka = idx[a]
+                kb = idx[b]
+                if ka == kb:
+                    total += 1
+                    a += 1
+                    b += 1
+                elif ka < kb:
+                    a += 1
+                else:
+                    b += 1
+    return total, steps
+
+
+def triangle_count_gallop(pos, idx, n):
+    """Triangle counting with galloping neighbor intersections."""
+    from bisect import bisect_left
+
+    total = 0
+    steps = 0
+    for i in range(n):
+        for p in range(pos[i], pos[i + 1]):
+            j = idx[p]
+            a, a_end = pos[j], pos[j + 1]
+            b, b_end = pos[i], pos[i + 1]
+            while a < a_end and b < b_end:
+                steps += 1
+                ka = idx[a]
+                kb = idx[b]
+                if ka == kb:
+                    total += 1
+                    a += 1
+                    b += 1
+                elif ka < kb:
+                    a = bisect_left(idx, kb, a, a_end)
+                else:
+                    b = bisect_left(idx, ka, b, b_end)
+    return total, steps
+
+
+def dense_dot(a, b):
+    """Dense elementwise dot in the same execution model; returns
+    ``(value, steps)``."""
+    if len(a) != len(b):
+        raise DimensionError("length mismatch")
+    total = 0.0
+    for p in range(len(a)):
+        total += a[p] * b[p]
+    return total, len(a)

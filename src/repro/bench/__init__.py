@@ -1,0 +1,5 @@
+"""Benchmark support: kernel builders and the table/timing harness."""
+
+from repro.bench import harness, kernels
+
+__all__ = ["harness", "kernels"]

@@ -1,0 +1,84 @@
+"""Benchmark harness: timing, op counting, and paper-style tables.
+
+The benchmarks report two measures per configuration:
+
+* wall-clock time of the compiled kernel (pytest-benchmark), and
+* the instrumented *operation count* — deterministic, machine-checkable,
+  and the right lens for the paper's asymptotic claims (galloping,
+  block skipping, run summation).
+
+``Table`` collects rows and renders an aligned text table, so each
+benchmark can print the figure it reproduces (captured in
+EXPERIMENTS.md).
+"""
+
+import time
+
+
+class Table:
+    """A small aligned-text table builder."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+
+    def add(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError("expected %d values" % len(self.columns))
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for pos, cell in enumerate(row):
+                widths[pos] = max(widths[pos], len(cell))
+        lines = ["== %s ==" % self.title]
+        header = "  ".join(c.ljust(widths[p])
+                           for p, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[p])
+                                   for p, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def show(self):
+        print()
+        print(self.render())
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or abs(value) < 0.01:
+            return "%.3g" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def time_kernel(kernel, repeats=3):
+    """Minimum wall-clock seconds over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel.run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def speedup(baseline, measured):
+    """baseline/measured, guarding zero."""
+    if measured == 0:
+        return float("inf")
+    return baseline / measured
+
+
+def summarize(values):
+    """(min, median, max) of a sequence."""
+    ordered = sorted(values)
+    if not ordered:
+        return (0.0, 0.0, 0.0)
+    mid = ordered[len(ordered) // 2]
+    return (ordered[0], mid, ordered[-1])

@@ -1,0 +1,49 @@
+"""Extended Concrete Index Notation (Figure 4 of the paper)."""
+
+from repro.cin.analyze import (
+    check_program,
+    forall_indices,
+    infer_extents,
+    output_tensors,
+    program_tensors,
+)
+from repro.cin.nodes import (
+    Access,
+    Assign,
+    CinStmt,
+    Forall,
+    Multi,
+    OffsetExpr,
+    Pass,
+    PermitExpr,
+    Sieve,
+    Where,
+    WindowExpr,
+    collect_accesses,
+    index_base,
+    stmt_children,
+    walk_stmts,
+)
+
+__all__ = [
+    "check_program",
+    "forall_indices",
+    "infer_extents",
+    "output_tensors",
+    "program_tensors",
+    "Access",
+    "Assign",
+    "CinStmt",
+    "Forall",
+    "Multi",
+    "OffsetExpr",
+    "Pass",
+    "PermitExpr",
+    "Sieve",
+    "Where",
+    "WindowExpr",
+    "collect_accesses",
+    "index_base",
+    "stmt_children",
+    "walk_stmts",
+]

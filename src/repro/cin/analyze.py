@@ -1,0 +1,159 @@
+"""Static analysis over CIN programs.
+
+Collects tensors, infers loop extents from tensor dimensions, finds
+result (output) tensors, and validates the program shape before
+lowering.
+"""
+
+from repro.cin.nodes import (
+    Access,
+    Assign,
+    Forall,
+    OffsetExpr,
+    PermitExpr,
+    Sieve,
+    WindowExpr,
+    collect_accesses,
+    stmt_exprs,
+    walk_stmts,
+)
+from repro.ir import build
+from repro.ir.nodes import Extent, Literal, Var
+from repro.util.errors import DimensionError, ReproError
+
+
+def program_tensors(stmt):
+    """All distinct tensors in the program, in first-use order."""
+    seen = []
+    for access in collect_accesses(stmt):
+        if not any(access.tensor is tensor for tensor in seen):
+            seen.append(access.tensor)
+    return seen
+
+
+def output_tensors(stmt):
+    """Tensors written by assignments, in first-write order."""
+    seen = []
+    for node in walk_stmts(stmt):
+        if isinstance(node, Assign):
+            tensor = node.lhs.tensor
+            if not any(tensor is t for t in seen):
+                seen.append(tensor)
+    return seen
+
+
+def forall_indices(stmt):
+    """Names of all forall-bound indices, outermost first."""
+    return [node.index.name for node in walk_stmts(stmt)
+            if isinstance(node, Forall)]
+
+
+def _dimension_candidate(idx, dim):
+    """The loop extent implied by using ``idx`` on a mode of size ``dim``.
+
+    Returns ``(base_name, Extent)`` or ``None`` when the modifier chain
+    makes the extent unbounded (permit) or shifted (offset).
+    """
+    if isinstance(idx, Var):
+        return idx.name, Extent(0, dim)
+    if isinstance(idx, WindowExpr) and isinstance(idx.base, Var):
+        return idx.base.name, Extent(0, build.minus(idx.hi, idx.lo))
+    if isinstance(idx, (OffsetExpr, PermitExpr)):
+        return None
+    return None
+
+
+def infer_extents(stmt):
+    """Map each forall index to its extent.
+
+    Explicit extents on the forall win; otherwise every access using the
+    index contributes a candidate from the corresponding mode dimension,
+    and all candidates must agree.
+    """
+    explicit = {}
+    for node in walk_stmts(stmt):
+        if isinstance(node, Forall) and node.ext is not None:
+            explicit[node.index.name] = node.ext
+
+    candidates = {}
+    for access in collect_accesses(stmt):
+        shape = getattr(access.tensor, "shape", None)
+        if shape is None:
+            continue
+        if len(shape) != len(access.idxs):
+            raise DimensionError(
+                "access %r has %d indices but the tensor has %d modes"
+                % (access, len(access.idxs), len(shape)))
+        for mode, idx in enumerate(access.idxs):
+            candidate = _dimension_candidate(idx, shape[mode])
+            if candidate is None:
+                continue
+            name, ext = candidate
+            candidates.setdefault(name, []).append(ext)
+
+    extents = dict(explicit)
+    for name in forall_indices(stmt):
+        if name in extents:
+            continue
+        options = candidates.get(name, [])
+        if not options:
+            raise DimensionError(
+                "cannot infer an extent for index %r; give the forall an "
+                "explicit extent" % name)
+        first = options[0]
+        for other in options[1:]:
+            if _statically_conflicting(first, other):
+                raise DimensionError(
+                    "conflicting extents for index %r: %r vs %r"
+                    % (name, first, other))
+        extents[name] = first
+    return extents
+
+
+def _statically_conflicting(a, b):
+    if a == b:
+        return False
+    both_static = all(isinstance(e, Literal)
+                      for e in (a.start, a.stop, b.start, b.stop))
+    return both_static
+
+
+def check_program(stmt):
+    """Validate program shape; raises on malformed programs."""
+    names_in_scope = []
+    _check(stmt, names_in_scope)
+
+
+def _check(stmt, names_in_scope):
+    if isinstance(stmt, Forall):
+        if stmt.index.name in names_in_scope:
+            raise ReproError("index %r bound twice" % stmt.index.name)
+        names_in_scope.append(stmt.index.name)
+        _check(stmt.body, names_in_scope)
+        names_in_scope.pop()
+        return
+    if isinstance(stmt, Assign):
+        for idx in stmt.lhs.idxs:
+            if not isinstance(idx, Var):
+                raise ReproError(
+                    "assignment targets must use plain indices, got %r"
+                    % (idx,))
+        return
+    if isinstance(stmt, Sieve):
+        _check(stmt.body, names_in_scope)
+        return
+    for expr in stmt_exprs(stmt):
+        del expr
+    from repro.cin.nodes import stmt_children
+
+    for child in stmt_children(stmt):
+        _check(child, names_in_scope)
+
+
+__all__ = [
+    "check_program",
+    "forall_indices",
+    "infer_extents",
+    "output_tensors",
+    "program_tensors",
+]

@@ -1,0 +1,16 @@
+"""The Finch compiler: unfurling, progressive lowering, kernels."""
+
+from repro.compiler.context import Context
+from repro.compiler.kernel import Kernel, compile_kernel, execute
+from repro.compiler.lower import Lowerer
+from repro.compiler.unfurl import Unfurled, unfurl_access
+
+__all__ = [
+    "Context",
+    "Kernel",
+    "compile_kernel",
+    "execute",
+    "Lowerer",
+    "Unfurled",
+    "unfurl_access",
+]

@@ -1,0 +1,89 @@
+"""Kernel assembly: compile a CIN program to an executable Python
+function.
+
+``compile_kernel`` analyzes the program, lowers it, wraps the emitted
+statements in a function whose parameters are the bound numpy buffers,
+``exec``s the source, and returns a :class:`Kernel` ready to run (and
+re-run) against the tensors it was compiled for.
+
+Scalar (0-dimensional) tensors are optimized into local accumulator
+variables, loaded once in the preamble and written back at the end.
+
+With ``instrument=True`` the emitted kernel counts every executed
+update, giving a deterministic work measure used by the benchmark
+harness alongside wall-clock time.
+"""
+
+from repro.cin.analyze import check_program, infer_extents, output_tensors
+from repro.compiler.context import Context
+from repro.compiler.lower import Lowerer
+from repro.ir import asm, emit
+from repro.ir.nodes import Literal, Load
+from repro.ir.runtime import kernel_globals
+
+
+class Kernel:
+    """A compiled CIN program bound to its tensors."""
+
+    def __init__(self, fn, args, source, program, outputs, instrument):
+        self._fn = fn
+        self._args = args
+        self.source = source
+        self.program = program
+        self.outputs = outputs
+        self.instrument = instrument
+
+    def run(self):
+        """Execute the kernel; returns the op count when instrumented."""
+        result = self._fn(*self._args)
+        return result if self.instrument else None
+
+    def __call__(self):
+        return self.run()
+
+
+def compile_kernel(program, instrument=False, name="kernel",
+                   constant_loop_rewrite=True):
+    """Compile one CIN program into a :class:`Kernel`."""
+    check_program(program)
+    ctx = Context(instrument=instrument,
+                  constant_loop_rewrite=constant_loop_rewrite)
+    ctx.extents = infer_extents(program)
+    outputs = output_tensors(program)
+
+    lowerer = Lowerer(ctx)
+    for tensor in outputs:
+        lowerer.emit_reset(tensor)
+    lowerer.lower_stmt(program)
+    body = ctx.take_block()
+
+    preamble = []
+    epilogue = []
+    if instrument:
+        preamble.append(asm.AssignStmt(ctx.ops_var, Literal(0)))
+    for var, tensor, is_output in ctx.scalar_bindings():
+        buf = ctx.buffer(tensor.element.val, tensor.name + "_val")
+        preamble.append(asm.AssignStmt(var, Load(buf, Literal(0))))
+        if is_output:
+            epilogue.append(asm.AssignStmt(Load(buf, Literal(0)), var))
+
+    params = [name_ for name_, _ in ctx.bound_buffers()]
+    returns = (ctx.ops_var.name,) if instrument else ()
+    func = asm.FuncDef(name, params,
+                       asm.Block(preamble + [body] + epilogue),
+                       returns=returns)
+    source = emit(func)
+    namespace = kernel_globals()
+    exec(compile(source, "<repro-kernel>", "exec"), namespace)
+    args = [array for _, array in ctx.bound_buffers()]
+    return Kernel(namespace[name], args, source, program, outputs,
+                  instrument)
+
+
+def execute(program, instrument=False):
+    """Compile and run a program once.
+
+    Returns the op count when instrumented, else None.  Results land in
+    the program's output tensors.
+    """
+    return compile_kernel(program, instrument=instrument).run()

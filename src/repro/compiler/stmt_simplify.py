@@ -1,0 +1,89 @@
+"""Statement-level simplification (the statement rules of Figure 5).
+
+Applied after every substitution round during lowering, so that (for
+example) a region where one operand is a run of zeros annihilates the
+whole multiply, the assignment becomes ``a[i] += 0 => @pass(a)``, and
+the enclosing loop over a pass disappears — this is how sparsity skips
+work in the paper's progressive-lowering story.
+"""
+
+from repro.cin.nodes import Assign, Forall, Multi, Pass, Sieve, Where
+from repro.cin.analyze import output_tensors
+from repro.ir.nodes import Literal
+from repro.rewrite import simplify_expr
+
+
+def simplify_stmt(stmt, rules=None):
+    """Simplify a CIN statement tree; may return a Pass."""
+    if isinstance(stmt, Assign):
+        return _simplify_assign(stmt, rules)
+    if isinstance(stmt, Forall):
+        body = simplify_stmt(stmt.body, rules)
+        if isinstance(body, Pass):
+            return body
+        if body is stmt.body:
+            return stmt
+        return Forall(stmt.index, body, ext=stmt.ext)
+    if isinstance(stmt, Sieve):
+        return _simplify_sieve(stmt, rules)
+    if isinstance(stmt, Where):
+        consumer = simplify_stmt(stmt.consumer, rules)
+        producer = simplify_stmt(stmt.producer, rules)
+        if isinstance(consumer, Pass):
+            # The where's result is its consumer's; nothing to do.
+            return consumer
+        if isinstance(producer, Pass):
+            return consumer
+        if consumer is stmt.consumer and producer is stmt.producer:
+            return stmt
+        return Where(consumer, producer)
+    if isinstance(stmt, Multi):
+        children = [simplify_stmt(child, rules) for child in stmt.stmts]
+        live = [child for child in children if not isinstance(child, Pass)]
+        if not live:
+            return Pass(output_tensors(stmt))
+        if len(live) == len(stmt.stmts) and all(
+                new is old for new, old in zip(children, stmt.stmts)):
+            return stmt
+        return Multi(live)
+    return stmt
+
+
+def is_identity_literal(expr, op):
+    """True when ``expr`` is a literal equal in value to ``op``'s
+    identity (0 == 0.0 == False for addition, etc.)."""
+    return (op is not None and op.identity is not None
+            and isinstance(expr, Literal)
+            and not callable(expr.value)
+            and type(expr.value) in (bool, int, float)
+            and expr.value == op.identity)
+
+
+def _simplify_assign(stmt, rules):
+    rhs = _simplify(stmt.rhs, rules)
+    if is_identity_literal(rhs, stmt.op):
+        # a[i] += 0  =>  @pass(a)
+        return Pass([stmt.lhs.tensor])
+    if rhs is stmt.rhs:
+        return stmt
+    return Assign(stmt.lhs, stmt.op, rhs)
+
+
+def _simplify_sieve(stmt, rules):
+    cond = _simplify(stmt.cond, rules)
+    if isinstance(cond, Literal):
+        if cond.value:
+            return simplify_stmt(stmt.body, rules)
+        return Pass(output_tensors(stmt.body))
+    body = simplify_stmt(stmt.body, rules)
+    if isinstance(body, Pass):
+        return body
+    if cond is stmt.cond and body is stmt.body:
+        return stmt
+    return Sieve(cond, body)
+
+
+def _simplify(expr, rules):
+    if rules is None:
+        return simplify_expr(expr)
+    return simplify_expr(expr, rules)

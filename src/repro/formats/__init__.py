@@ -1,0 +1,44 @@
+"""Level formats: the storage half of the Looplet story (Section 4)."""
+
+from repro.formats.bitmap import BitmapLevel
+from repro.formats.dense import DenseLevel
+from repro.formats.element import ElementLevel
+from repro.formats.level import (
+    FiberSlice,
+    FillFiber,
+    Level,
+    child_payload,
+    fill_payload,
+    full_fill,
+    subtree_dtype,
+    subtree_shape,
+)
+from repro.formats.packbits import PackBitsLevel
+from repro.formats.ragged import RaggedLevel
+from repro.formats.rle import RunLengthLevel
+from repro.formats.sparse_band import SparseBandLevel
+from repro.formats.sparse_list import SparseListLevel
+from repro.formats.vbl import SparseVBLLevel
+from repro.formats.virtual import SymmetricLevel, TriangularLevel
+
+__all__ = [
+    "BitmapLevel",
+    "DenseLevel",
+    "ElementLevel",
+    "FiberSlice",
+    "FillFiber",
+    "Level",
+    "child_payload",
+    "fill_payload",
+    "full_fill",
+    "subtree_dtype",
+    "subtree_shape",
+    "PackBitsLevel",
+    "RaggedLevel",
+    "RunLengthLevel",
+    "SparseBandLevel",
+    "SparseListLevel",
+    "SparseVBLLevel",
+    "SymmetricLevel",
+    "TriangularLevel",
+]

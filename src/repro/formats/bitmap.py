@@ -1,0 +1,72 @@
+"""Bitmap level (Figure 6c): dense storage plus an occupancy table.
+
+Children are stored densely (position ``p * shape + j``), and a flat
+boolean table marks which are meaningful; the rest are backgrounds the
+compiler may specialize away.  The unfurl is a Lookup whose *body* is a
+per-element Switch — the locate protocol of Figure 6c, which "branches
+on whether each value is statically zero" and thereby lets zero
+annihilation fire inside random-access loops.
+"""
+
+import numpy as np
+
+from repro.formats.level import (
+    FiberSlice,
+    Level,
+    fill_payload,
+    subtree_dtype,
+    subtree_shape,
+)
+from repro.ir import build
+from repro.ir.nodes import Literal, Load
+from repro.looplets import Case, Lookup, Switch
+from repro.util.errors import FormatError
+
+
+class BitmapLevel(Level):
+    """Densely stored children guarded by a boolean occupancy table."""
+
+    PROTOCOLS = ("walk", "locate")
+    DEFAULT_PROTOCOL = "walk"
+
+    def __init__(self, shape, child, tbl):
+        super().__init__(shape, child)
+        self.tbl = np.asarray(tbl, dtype=bool)
+        if self.tbl.ndim != 1:
+            raise FormatError("tbl must be a flat boolean array")
+        if self.shape and len(self.tbl) % self.shape != 0:
+            raise FormatError("tbl length must be a multiple of the shape")
+
+    def unfurl(self, ctx, pos, proto=None):
+        self.resolve_protocol(proto)
+        tbl_buf = ctx.buffer(self.tbl, "tbl")
+        base = build.times(pos, self.shape)
+
+        def body(j):
+            slot = build.plus(base, j)
+            return Switch([
+                Case(Load(tbl_buf, slot), FiberSlice(self.child, slot)),
+                Case(Literal(True), fill_payload(self)),
+            ])
+
+        return Lookup(body)
+
+    def locate(self, ctx, pos, idx):
+        return build.plus(build.times(pos, self.shape), idx)
+
+    def fiber_count(self):
+        return len(self.tbl) // max(self.shape, 1)
+
+    def fiber_to_numpy(self, pos):
+        shape = (self.shape,) + subtree_shape(self.child)
+        out = np.full(shape, self.fill, dtype=subtree_dtype(self.child))
+        for j in range(self.shape):
+            if self.tbl[pos * self.shape + j]:
+                out[j] = self.child.fiber_to_numpy(pos * self.shape + j)
+        return out
+
+    def buffers(self):
+        return {"tbl": self.tbl}
+
+    def __repr__(self):
+        return "BitmapLevel(%d)" % self.shape

@@ -1,0 +1,197 @@
+"""Target statement AST ("assembly") for emitted kernels.
+
+Lowering produces these nodes; :mod:`repro.ir.emit` renders them as
+Python source.  The AST is deliberately tiny — blocks, loops, branches,
+assignments and comments — because everything interesting happens before
+we reach it.
+"""
+
+from repro.ir.nodes import Expr, Load, Var, as_expr
+from repro.ir.ops import Op, get_op
+from repro.util.errors import ReproError
+
+
+class Stmt:
+    """Base class for target statements."""
+
+    __slots__ = ()
+
+    def is_nop(self):
+        return False
+
+
+class Block(Stmt):
+    """A sequence of statements; nested blocks are flattened."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts=()):
+        flat = []
+        for stmt in stmts:
+            if stmt is None or stmt.is_nop():
+                continue
+            if isinstance(stmt, Block):
+                flat.extend(stmt.stmts)
+            else:
+                flat.append(stmt)
+        self.stmts = tuple(flat)
+
+    def is_nop(self):
+        return not self.stmts
+
+    def __repr__(self):
+        return "Block(%d stmts)" % len(self.stmts)
+
+
+class Nop(Stmt):
+    """No operation (elided during emission)."""
+
+    __slots__ = ()
+
+    def is_nop(self):
+        return True
+
+
+class Comment(Stmt):
+    """A source comment carried through to emitted code."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        self.text = text
+
+
+class AssignStmt(Stmt):
+    """``target = value`` where target is a Var or a buffer element."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value):
+        if isinstance(target, str):
+            target = Var(target)
+        if not isinstance(target, (Var, Load)):
+            raise ReproError("bad assignment target: %r" % (target,))
+        self.target = target
+        self.value = as_expr(value)
+
+
+class AccumStmt(Stmt):
+    """``target <op>= value`` — an in-place reduction update."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target, op, value):
+        if isinstance(target, str):
+            target = Var(target)
+        if isinstance(op, str):
+            op = get_op(op)
+        if not isinstance(op, Op):
+            raise ReproError("bad accumulation op: %r" % (op,))
+        self.target = target
+        self.op = op
+        self.value = as_expr(value)
+
+
+class ForLoop(Stmt):
+    """``for var in range(start, stop): body`` (half-open)."""
+
+    __slots__ = ("var", "start", "stop", "body")
+
+    def __init__(self, var, start, stop, body):
+        if isinstance(var, str):
+            var = Var(var)
+        self.var = var
+        self.start = as_expr(start)
+        self.stop = as_expr(stop)
+        self.body = body if isinstance(body, Block) else Block([body])
+
+
+class WhileLoop(Stmt):
+    """``while cond: body``."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body):
+        self.cond = as_expr(cond)
+        self.body = body if isinstance(body, Block) else Block([body])
+
+
+class If(Stmt):
+    """``if/elif/else`` chain.
+
+    ``branches`` is a list of ``(cond, block)`` pairs; a ``None``
+    condition marks the trailing ``else``.
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches):
+        cleaned = []
+        for cond, body in branches:
+            if cond is not None:
+                cond = as_expr(cond)
+            body = body if isinstance(body, Block) else Block([body])
+            cleaned.append((cond, body))
+        if not cleaned:
+            raise ReproError("If requires at least one branch")
+        self.branches = tuple(cleaned)
+
+    def is_nop(self):
+        return all(body.is_nop() for _, body in self.branches)
+
+
+class Raw(Stmt):
+    """An opaque line of Python source (used sparingly, e.g. ``pass``)."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+class FuncDef(Stmt):
+    """Top-level function wrapper for a compiled kernel."""
+
+    __slots__ = ("name", "params", "body", "returns")
+
+    def __init__(self, name, params, body, returns=()):
+        self.name = name
+        self.params = tuple(params)
+        self.body = body if isinstance(body, Block) else Block([body])
+        self.returns = tuple(returns)
+
+
+def block(*stmts):
+    return Block(stmts)
+
+
+def walk_statements(stmt):
+    """Yield every statement in the tree, preorder."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            yield from walk_statements(child)
+    elif isinstance(stmt, (ForLoop, WhileLoop, FuncDef)):
+        yield from walk_statements(stmt.body)
+    elif isinstance(stmt, If):
+        for _, body in stmt.branches:
+            yield from walk_statements(body)
+
+
+def statement_exprs(stmt):
+    """Yield the expressions referenced directly by one statement."""
+    if isinstance(stmt, AssignStmt):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, AccumStmt):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, ForLoop):
+        yield stmt.start
+        yield stmt.stop
+    elif isinstance(stmt, WhileLoop):
+        yield stmt.cond
+    elif isinstance(stmt, If):
+        for cond, _ in stmt.branches:
+            if isinstance(cond, Expr):
+                yield cond

@@ -1,0 +1,225 @@
+"""Operator registry for the scalar expression IR.
+
+Each :class:`Op` records how to *render* the operator in emitted Python
+source, how to *fold* it over constants, and the algebraic properties the
+rewriter (Figure 5 of the paper) relies on: identity and annihilator
+elements, commutativity and associativity, and whether the operator
+propagates ``missing`` (rendered as Python ``None``).
+
+The registry is open: callers may register their own operators (e.g. a
+semiring product) and the whole compiler pipeline — rewriting included —
+picks the properties up from here.
+"""
+
+import math
+
+from repro.util.errors import ReproError
+
+
+class Missing:
+    """Singleton sentinel for the paper's ``missing`` value.
+
+    ``missing`` is produced by the ``permit`` index modifier for
+    out-of-bounds accesses; ``f(x, missing) = missing`` for ordinary
+    operators, and ``coalesce`` selects its first non-missing argument.
+    Rendered as ``None`` in emitted code.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "missing"
+
+
+MISSING = Missing()
+
+
+class Op:
+    """A scalar operator usable in IR ``Call`` nodes.
+
+    Parameters
+    ----------
+    name:
+        Registry key and default rendering (as ``name(args...)``).
+    fn:
+        Python callable used for constant folding and by the reference
+        interpreter.
+    symbol:
+        Infix symbol; when given, binary calls render as ``a <sym> b``.
+    precedence:
+        Python operator precedence (higher binds tighter) used by the
+        pretty printer to insert minimal parentheses.
+    identity / annihilator:
+        Algebraic elements, or ``None`` when absent.  ``op(identity, x)
+        == x`` and ``op(annihilator, x) == annihilator``.
+    commutative / associative:
+        Enable argument reordering / flattening in the rewriter.
+    propagates_missing:
+        ``op(..., missing, ...) == missing`` (true for arithmetic, false
+        for ``coalesce``).
+    """
+
+    def __init__(self, name, fn, symbol=None, precedence=0, identity=None,
+                 annihilator=None, commutative=False, associative=False,
+                 propagates_missing=True, runtime_name=None):
+        self.name = name
+        self.fn = fn
+        self.symbol = symbol
+        self.precedence = precedence
+        self.identity = identity
+        self.annihilator = annihilator
+        self.commutative = commutative
+        self.associative = associative
+        self.propagates_missing = propagates_missing
+        # Name the op is reachable under inside emitted-kernel namespaces,
+        # for ops that render as function calls rather than infix syntax.
+        self.runtime_name = runtime_name or name
+
+    def __repr__(self):
+        return "Op(%s)" % self.name
+
+    def fold(self, *args):
+        """Apply the underlying Python function to constant arguments."""
+        if self.propagates_missing and any(a is MISSING for a in args):
+            return MISSING
+        return self.fn(*args)
+
+
+_REGISTRY = {}
+
+
+def register_op(op):
+    """Add ``op`` to the global registry, replacing any previous entry."""
+    _REGISTRY[op.name] = op
+    return op
+
+
+def get_op(name):
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError("unknown operator: %r" % (name,))
+
+
+def all_ops():
+    return dict(_REGISTRY)
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not MISSING and arg is not None:
+            return arg
+    return MISSING
+
+
+def _ifelse(cond, then, otherwise):
+    return then if cond else otherwise
+
+
+def _round_u8(value):
+    """Round and clamp to the uint8 range (paper's ``round(UInt8, x)``)."""
+    return max(0, min(255, int(round(float(value)))))
+
+
+def _divide(a, b):
+    return a / b
+
+
+def _and(*args):
+    result = True
+    for arg in args:
+        result = result and arg
+    return result
+
+
+def _or(*args):
+    result = False
+    for arg in args:
+        result = result or arg
+    return result
+
+
+def _add(*args):
+    result = 0
+    for arg in args:
+        result = result + arg
+    return result
+
+
+def _mul(*args):
+    result = 1
+    for arg in args:
+        result = result * arg
+    return result
+
+
+def _min(*args):
+    return min(args)
+
+
+def _max(*args):
+    return max(args)
+
+
+ADD = register_op(Op("add", _add, symbol="+", precedence=10, identity=0,
+                     commutative=True, associative=True))
+SUB = register_op(Op("sub", lambda a, b: a - b, symbol="-", precedence=10))
+NEG = register_op(Op("neg", lambda a: -a, symbol="-", precedence=13))
+MUL = register_op(Op("mul", _mul, symbol="*", precedence=11, identity=1,
+                     annihilator=0, commutative=True, associative=True))
+DIV = register_op(Op("div", _divide, symbol="/", precedence=11))
+FLOORDIV = register_op(Op("floordiv", lambda a, b: a // b, symbol="//",
+                          precedence=11))
+MOD = register_op(Op("mod", lambda a, b: a % b, symbol="%", precedence=11))
+POW = register_op(Op("pow", lambda a, b: a ** b, symbol="**", precedence=14))
+MIN = register_op(Op("min", _min, identity=None, commutative=True,
+                     associative=True, runtime_name="min"))
+MAX = register_op(Op("max", _max, identity=None, commutative=True,
+                     associative=True, runtime_name="max"))
+EQ = register_op(Op("eq", lambda a, b: a == b, symbol="==", precedence=6))
+NE = register_op(Op("ne", lambda a, b: a != b, symbol="!=", precedence=6))
+LT = register_op(Op("lt", lambda a, b: a < b, symbol="<", precedence=6))
+LE = register_op(Op("le", lambda a, b: a <= b, symbol="<=", precedence=6))
+GT = register_op(Op("gt", lambda a, b: a > b, symbol=">", precedence=6))
+GE = register_op(Op("ge", lambda a, b: a >= b, symbol=">=", precedence=6))
+AND = register_op(Op("and", _and, symbol="and", precedence=4, identity=True,
+                     annihilator=False, commutative=True, associative=True))
+OR = register_op(Op("or", _or, symbol="or", precedence=3, identity=False,
+                    annihilator=True, commutative=True, associative=True))
+NOT = register_op(Op("not", lambda a: not a, symbol="not ", precedence=5))
+ABS = register_op(Op("abs", abs, runtime_name="abs"))
+SQRT = register_op(Op("sqrt", math.sqrt, runtime_name="_sqrt"))
+COALESCE = register_op(Op("coalesce", _coalesce, propagates_missing=False,
+                          runtime_name="_coalesce"))
+IFELSE = register_op(Op("ifelse", _ifelse, propagates_missing=False,
+                        runtime_name="_ifelse"))
+ROUND_U8 = register_op(Op("round_u8", _round_u8, runtime_name="_round_u8"))
+
+
+def _search_ge(idx, lo, hi, key):
+    """First position ``p`` in ``[lo, hi)`` with ``idx[p] >= key``."""
+    from bisect import bisect_left
+
+    return bisect_left(idx, key, lo, hi)
+
+
+def _search_abs_ge(idx, lo, hi, key):
+    """Like ``search_ge`` over ``abs(idx)`` (PackBits signed markers)."""
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if abs(idx[mid]) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+SEARCH_GE = register_op(Op("search_ge", _search_ge,
+                           runtime_name="search_ge"))
+SEARCH_ABS_GE = register_op(Op("search_abs_ge", _search_abs_ge,
+                               runtime_name="search_abs_ge"))

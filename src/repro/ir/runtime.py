@@ -1,0 +1,59 @@
+"""Runtime helpers available inside emitted kernels.
+
+Compiled kernels are executed with :func:`kernel_globals` as their
+namespace, so every function here (and every registered op that renders
+as a call) is reachable from emitted source.
+"""
+
+import math
+from bisect import bisect_left
+
+from repro.ir.ops import all_ops
+
+
+def _coalesce(*args):
+    """First non-``None`` argument (the paper's ``coalesce``)."""
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _ifelse(cond, then, otherwise):
+    return then if cond else otherwise
+
+
+def _round_u8(value):
+    """Round and clamp to [0, 255] — the paper's ``round(UInt8, x)``."""
+    return max(0, min(255, int(round(float(value)))))
+
+
+def _sqrt(value):
+    return math.sqrt(value)
+
+
+def search_ge(idx, lo, hi, key):
+    """First position ``p`` in ``[lo, hi)`` with ``idx[p] >= key``.
+
+    This is the ``search`` used by stepper/jumper ``seek`` functions in
+    the paper (a binary search over a sorted coordinate array).
+    """
+    return bisect_left(idx, key, lo, hi)
+
+
+def kernel_globals():
+    """Fresh namespace for ``exec``-ing one emitted kernel."""
+    env = {
+        "_coalesce": _coalesce,
+        "_ifelse": _ifelse,
+        "_round_u8": _round_u8,
+        "_sqrt": _sqrt,
+        "search_ge": search_ge,
+        "min": min,
+        "max": max,
+        "abs": abs,
+    }
+    for op in all_ops().values():
+        if op.symbol is None and op.runtime_name not in env:
+            env[op.runtime_name] = op.fn
+    return env

@@ -1,0 +1,70 @@
+"""The user-facing language surface, re-exported in one namespace.
+
+    import repro.lang as fl
+
+    i = fl.indices("i")
+    C = fl.Scalar(name="C")
+    A = fl.from_numpy(a, ("sparse",), name="A")
+    B = fl.from_numpy(b, ("band",), name="B")
+    fl.execute(fl.forall(i, fl.increment(C[()], A[i] * B[i])))
+    print(C.value)
+"""
+
+from repro.cin.builders import (
+    access,
+    call,
+    coalesce,
+    eq,
+    follow,
+    forall,
+    foralls,
+    gallop,
+    ge,
+    gt,
+    increment,
+    indices,
+    land,
+    le,
+    literal,
+    locate,
+    lor,
+    lt,
+    maximum,
+    minimum,
+    multi,
+    ne,
+    offset,
+    pass_,
+    permit,
+    reduce_into,
+    sieve,
+    store,
+    walk,
+    where,
+    window,
+)
+from repro.compiler.kernel import Kernel, compile_kernel, execute
+from repro.ir import MISSING, ops
+from repro.tensors.output import RunOutput, SparseOutput
+from repro.tensors import (
+    Scalar,
+    convert,
+    dropfills,
+    Tensor,
+    from_numpy,
+    symmetric_from_numpy,
+    triangular_from_numpy,
+    zeros,
+)
+
+__all__ = [
+    "access", "call", "coalesce", "eq", "follow", "forall", "foralls",
+    "gallop", "ge", "gt", "increment", "indices", "land", "le", "literal",
+    "locate", "lor", "lt", "maximum", "minimum", "multi", "ne", "offset",
+    "pass_", "permit", "reduce_into", "sieve", "store", "walk", "where",
+    "window", "Kernel", "compile_kernel", "execute", "MISSING", "ops",
+    "RunOutput", "SparseOutput",
+    "Scalar", "Tensor", "convert", "dropfills", "from_numpy",
+    "symmetric_from_numpy",
+    "triangular_from_numpy", "zeros",
+]

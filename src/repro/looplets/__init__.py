@@ -1,0 +1,47 @@
+"""The Looplet language (Figure 2 of the paper)."""
+
+from repro.looplets.base import (
+    Looplet,
+    Style,
+    call_body,
+    expect_payload,
+    is_looplet,
+    resolve_style,
+    style_of,
+)
+from repro.looplets.coiter import Jumper, Stepper
+from repro.looplets.core import (
+    Case,
+    Lookup,
+    Phase,
+    Pipeline,
+    Run,
+    Simplify,
+    Spike,
+    Switch,
+)
+from repro.looplets.shift import shift_extent, shift_looplet
+from repro.looplets.truncate import truncate
+
+__all__ = [
+    "Looplet",
+    "Style",
+    "call_body",
+    "expect_payload",
+    "is_looplet",
+    "resolve_style",
+    "style_of",
+    "Jumper",
+    "Stepper",
+    "Case",
+    "Lookup",
+    "Phase",
+    "Pipeline",
+    "Run",
+    "Simplify",
+    "Spike",
+    "Switch",
+    "shift_extent",
+    "shift_looplet",
+    "truncate",
+]

@@ -1,0 +1,104 @@
+"""Looplet base definitions and lowering styles.
+
+A looplet is an abstract description of structure in a sequence of
+values over a target extent (Figure 2 of the paper).  Each looplet kind
+declares a *style*; the compiler resolves which lowering pass to run by
+taking the highest-priority style present in a loop body (Section 6.2):
+
+    Switch > Run > Spike > Pipeline > Jumper > Stepper > Lookup
+
+Leaf positions in a looplet ("payloads") are either scalar IR
+expressions or opaque handles to deeper fibers (``FiberSlice`` objects
+from :mod:`repro.formats`); the compiler decides which.
+"""
+
+from repro.ir.nodes import Expr
+from repro.util.errors import LoweringError
+
+
+class Style:
+    """Lowering-pass styles, ordered by descending priority."""
+
+    SIMPLIFY = 80
+    SWITCH = 70
+    RUN = 60
+    SPIKE = 50
+    PIPELINE = 40
+    JUMPER = 30
+    STEPPER = 20
+    LOOKUP = 10
+    SCALAR = 0
+
+    NAMES = {
+        80: "simplify",
+        70: "switch",
+        60: "run",
+        50: "spike",
+        40: "pipeline",
+        30: "jumper",
+        20: "stepper",
+        10: "lookup",
+        0: "scalar",
+    }
+
+
+class Looplet:
+    """Base class for looplets."""
+
+    STYLE = Style.SCALAR
+
+    def style(self):
+        return self.STYLE
+
+    def style_name(self):
+        return Style.NAMES[self.style()]
+
+
+def is_looplet(value):
+    return isinstance(value, Looplet)
+
+
+def style_of(value):
+    """The style of a looplet or payload.
+
+    Scalar expressions and fiber handles carry the bottom style: they
+    impose no constraints on how the loop is lowered.
+    """
+    if is_looplet(value):
+        return value.style()
+    return Style.SCALAR
+
+
+def resolve_style(values):
+    """Pick the lowering pass for a set of looplets/payloads.
+
+    Mirrors the paper's pairwise style resolution: the resulting pass
+    must be able to handle every looplet present, and the priority order
+    above guarantees it (e.g. the spike lowerer can handle runs, not
+    vice versa).
+    """
+    best = Style.SCALAR
+    for value in values:
+        best = max(best, style_of(value))
+    return best
+
+
+def call_body(body, ctx, ext):
+    """Evaluate a looplet body that may be extent-dependent.
+
+    Bodies may be given either directly (a looplet or payload) or as a
+    callable ``body(ctx, ext)`` evaluated when the target extent is
+    known.  Formats use the callable form when the child structure
+    depends on the region being lowered (e.g. galloping jumpers).
+    """
+    if callable(body) and not isinstance(body, Expr):
+        return body(ctx, ext)
+    return body
+
+
+def expect_payload(value, what="payload"):
+    """Assert that a leaf position holds a payload, not a looplet."""
+    if is_looplet(value):
+        raise LoweringError(
+            "expected a %s but found an unlowered looplet: %r" % (what, value))
+    return value

@@ -1,0 +1,66 @@
+"""Coiterating looplets: Stepper and Jumper.
+
+A stepper is an unbounded sequence of identical child looplets; a
+jumper is the same but elects itself a *leader* during coiteration by
+declaring the widest extent it can handle (enabling galloping
+intersections, Section 7 of the paper).
+
+Both manipulate runtime state in the generated code (typically a
+position cursor into a coordinate array), so their pieces are emitted
+code fragments:
+
+``preamble()``
+    statements run once when the looplet enters scope (e.g. ``p =
+    pos[i]``).
+``seek(ctx, start)``
+    statements that position the cursor at the first child intersecting
+    ``start`` (often a binary search).
+``stride``
+    IR expression for the *exclusive* end of the current child.
+``body``
+    the current child looplet; may be extent-dependent
+    (``body(ctx, ext)``).
+``next(ctx)``
+    statements advancing to the next child; the lowerer guards them
+    with "did this looplet's child end here?".
+"""
+
+from repro.ir.nodes import as_expr
+from repro.looplets.base import Looplet, Style
+
+
+def _no_stmts(*_args, **_kwargs):
+    return []
+
+
+class Stepper(Looplet):
+    """Repeated application of the same child looplet (Figure 2)."""
+
+    STYLE = Style.STEPPER
+
+    def __init__(self, stride, body, seek=None, next=None, preamble=None):
+        self.stride = as_expr(stride)
+        self.body = body
+        self.seek = seek or _no_stmts
+        self.next = next or _no_stmts
+        self.preamble = preamble or _no_stmts
+
+    def __repr__(self):
+        return "Stepper(stride=%r)" % (self.stride,)
+
+
+class Jumper(Looplet):
+    """Like a stepper, but may be asked to cover an extent *wider* than
+    one child, enabling accelerated (galloping) iteration."""
+
+    STYLE = Style.JUMPER
+
+    def __init__(self, stride, body, seek=None, next=None, preamble=None):
+        self.stride = as_expr(stride)
+        self.body = body
+        self.seek = seek or _no_stmts
+        self.next = next or _no_stmts
+        self.preamble = preamble or _no_stmts
+
+    def __repr__(self):
+        return "Jumper(stride=%r)" % (self.stride,)

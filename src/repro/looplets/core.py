@@ -1,0 +1,142 @@
+"""Core looplets: Lookup, Run, Spike, Switch/Case, Pipeline/Phase.
+
+These are direct translations of Figure 2 of the paper, with half-open
+extents.  ``Stepper`` and ``Jumper`` live in
+:mod:`repro.looplets.coiter`.
+"""
+
+from repro.ir.nodes import as_expr
+from repro.looplets.base import Looplet, Style
+from repro.util.errors import LoweringError
+
+
+class Simplify(Looplet):
+    """A no-op wrapper that triggers a simplification pass.
+
+    Section 6.1: "The Finch implementation recognizes a no-op Simplify
+    looplet, which triggers a simplification pass."  Its style outranks
+    every other looplet, so simplification happens as early as
+    possible; the lowerer then unwraps it and continues.
+    """
+
+    STYLE = Style.SIMPLIFY
+
+    def __init__(self, body):
+        self.body = body
+
+    def __repr__(self):
+        return "Simplify(%r)" % (self.body,)
+
+
+class Lookup(Looplet):
+    """An arbitrary sequence; element ``i`` is computed as ``body(i)``.
+
+    ``body`` is a Python callable from an index *expression* to a
+    payload (a scalar IR expression or a fiber handle) or to another
+    looplet (e.g. a per-element ``Switch`` for bitmap formats).
+    """
+
+    STYLE = Style.LOOKUP
+
+    def __init__(self, body):
+        if not callable(body):
+            raise LoweringError("Lookup body must be callable, got %r"
+                                % (body,))
+        self.body = body
+
+    def __repr__(self):
+        return "Lookup(...)"
+
+
+class Run(Looplet):
+    """The same scalar ``body`` repeated across the whole target extent."""
+
+    STYLE = Style.RUN
+
+    def __init__(self, body):
+        self.body = body
+
+    def __repr__(self):
+        return "Run(%r)" % (self.body,)
+
+
+class Spike(Looplet):
+    """``body`` repeated, then a single ``tail`` at the extent's last slot.
+
+    With half-open extents ``[start, stop)``: ``body`` covers
+    ``[start, stop - 1)`` and ``tail`` sits at index ``stop - 1``.
+    """
+
+    STYLE = Style.SPIKE
+
+    def __init__(self, body, tail):
+        self.body = body
+        self.tail = tail
+
+    def __repr__(self):
+        return "Spike(%r, %r)" % (self.body, self.tail)
+
+
+class Case:
+    """One alternative of a :class:`Switch`."""
+
+    def __init__(self, cond, body):
+        self.cond = as_expr(cond)
+        self.body = body
+
+    def __repr__(self):
+        return "Case(%r, %r)" % (self.cond, self.body)
+
+
+class Switch(Looplet):
+    """The first child whose condition holds at runtime.
+
+    Conditions must be invariant over the target extent (they are
+    hoisted out of the loop by the switch lowerer).
+    """
+
+    STYLE = Style.SWITCH
+
+    def __init__(self, cases):
+        cases = tuple(cases)
+        if not cases:
+            raise LoweringError("Switch requires at least one case")
+        self.cases = cases
+
+    def __repr__(self):
+        return "Switch(%d cases)" % len(self.cases)
+
+
+class Phase:
+    """One stage of a :class:`Pipeline`.
+
+    ``stride`` is the *exclusive* end index of this phase, or ``None``
+    for the final phase (which extends to the target stop).  ``body``
+    may be a looplet/payload or a callable ``body(ctx, ext)``.
+    """
+
+    def __init__(self, body, stride=None):
+        self.body = body
+        self.stride = None if stride is None else as_expr(stride)
+
+    def __repr__(self):
+        return "Phase(stride=%r)" % (self.stride,)
+
+
+class Pipeline(Looplet):
+    """A few different child looplets, one after the other."""
+
+    STYLE = Style.PIPELINE
+
+    def __init__(self, phases):
+        phases = tuple(phases)
+        if not phases:
+            raise LoweringError("Pipeline requires at least one phase")
+        for phase in phases[:-1]:
+            if phase.stride is None:
+                raise LoweringError(
+                    "only the final phase of a Pipeline may omit its stride")
+        self.phases = phases
+
+    def __repr__(self):
+        return "Pipeline(%d phases)" % len(self.phases)

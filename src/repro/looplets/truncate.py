@@ -1,0 +1,60 @@
+"""Truncation: restricting a looplet to a subregion of its extent.
+
+Many looplets are self-similar (a run restricted to any subregion is
+still a run), but spikes depend on their target region: a truncation
+that *excludes* the final element turns a spike into a run, and when
+inclusion can only be decided at runtime the truncation produces a
+``Switch`` (Section 6.1, "Spikes").  The switch lowerer later hoists
+that decision out of the loop.
+"""
+
+from repro.ir import build
+from repro.ir.nodes import Literal
+from repro.looplets.base import is_looplet
+from repro.looplets.coiter import Jumper, Stepper
+from repro.looplets.core import (Case, Lookup, Pipeline, Run, Simplify,
+                                 Spike, Switch)
+from repro.rewrite import simplify_expr
+from repro.util.errors import LoweringError
+
+
+def truncate(value, new_ext, old_ext):
+    """Restrict ``value`` from target ``old_ext`` to ``new_ext``.
+
+    ``new_ext`` must be a subregion of ``old_ext`` sharing runtime
+    semantics: ``old_ext.start <= new_ext.start`` and ``new_ext.stop <=
+    old_ext.stop``.  The interesting question for spikes is whether the
+    truncation keeps the final element, i.e. whether ``new_ext.stop ==
+    old_ext.stop`` — decided statically when possible, with a runtime
+    ``Switch`` otherwise.
+    """
+    if not is_looplet(value):
+        return value
+    if isinstance(value, Simplify):
+        return Simplify(truncate(value.body, new_ext, old_ext))
+    if isinstance(value, (Run, Lookup)):
+        return value
+    if isinstance(value, Spike):
+        return _truncate_spike(value, new_ext, old_ext)
+    if isinstance(value, Switch):
+        cases = [Case(case.cond, truncate(case.body, new_ext, old_ext))
+                 for case in value.cases]
+        return Switch(cases)
+    if isinstance(value, (Pipeline, Stepper, Jumper)):
+        # These handle arbitrary target extents themselves: the pipeline
+        # lowerer clips each phase to the target, and steppers/jumpers
+        # seek to the target start.
+        return value
+    raise LoweringError("cannot truncate looplet %r" % (value,))
+
+
+def _truncate_spike(spike, new_ext, old_ext):
+    tail_included = simplify_expr(build.eq(new_ext.stop, old_ext.stop))
+    if isinstance(tail_included, Literal):
+        if tail_included.value:
+            return spike
+        return Run(spike.body)
+    return Switch([
+        Case(tail_included, spike),
+        Case(Literal(True), Run(spike.body)),
+    ])

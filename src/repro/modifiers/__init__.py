@@ -1,0 +1,46 @@
+"""Index modifiers and protocol helpers (Sections 5.2 and 8).
+
+The core modifiers — ``offset``, ``window``, ``permit`` — are defined
+with the eDSL builders and re-exported here; the compiler wraps the
+unfurled looplets accordingly (shift / truncate+shift / missing-padded
+pipeline).
+
+This module adds :func:`one_hot`, the paper's *mask protocol*
+(``Pipeline(Run(false), true, Run(false))``): a virtual boolean vector
+that is true at exactly one (runtime-computed) position.  It turns a
+scatter ``A[i] = B[f(i)]`` into sequential iteration via a sieve::
+
+    @∀ i A[i] = B[f(i)]  →  @∀ i j  @sieve mask[j]  A[i] = B[j]
+
+where ``mask = one_hot(n, f(i))`` exposes the single true position as
+structure, so the compiler skips everything else.
+"""
+
+from repro.cin.builders import coalesce, offset, permit, window
+from repro.formats.custom import LoopletTensor
+from repro.ir import build
+from repro.ir.nodes import Literal, as_expr
+from repro.looplets import Phase, Pipeline, Run
+
+__all__ = ["coalesce", "offset", "permit", "window", "one_hot"]
+
+
+def one_hot(size, position, name=None):
+    """A virtual boolean vector: true only at ``position``.
+
+    ``position`` is any scalar IR expression (it may reference outer
+    loop indices).  Unfurls to the paper's mask protocol, so coiterating
+    with it reduces the loop to a single guarded element.
+    """
+    position = as_expr(position)
+
+    def unfurl(ctx, pos):
+        del pos
+        return Pipeline([
+            Phase(Run(Literal(False)), stride=position),
+            Phase(Run(Literal(True)),
+                  stride=build.plus(position, 1)),
+            Phase(Run(Literal(False))),
+        ])
+
+    return LoopletTensor(size, unfurl, name=name or "mask", fill=False)

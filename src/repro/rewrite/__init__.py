@@ -1,0 +1,6 @@
+"""Rewrite rules and the fixpoint simplifier (Figure 5 of the paper)."""
+
+from repro.rewrite.rules import DEFAULT_EXPR_RULES
+from repro.rewrite.simplify import simplify_expr
+
+__all__ = ["DEFAULT_EXPR_RULES", "simplify_expr"]

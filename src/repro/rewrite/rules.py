@@ -1,0 +1,194 @@
+"""Expression rewrite rules (Figure 5 of the paper).
+
+A rule is a callable taking an expression and returning either a
+replacement expression or ``None`` when it does not apply.  The default
+rule set implements the mathematical-property rules the paper lists:
+constant folding, flattening of associative operators, identity and
+annihilator elements (``x * 0 => 0``, ``x + 0 => x``, ``or(..., true,
+...) => true``), negation normalization, ``missing`` propagation, and
+``coalesce`` short-circuiting.
+
+Users can extend the set with domain rules (semirings and beyond), as
+the paper encourages — pass extra rules to
+:func:`repro.rewrite.simplify.simplify_expr`.
+"""
+
+from repro.ir import build, ops
+from repro.ir.nodes import Call, Literal
+
+_VARIADIC_BUILDERS = {
+    "add": build.plus,
+    "mul": build.times,
+    "min": build.minimum,
+    "max": build.maximum,
+    "and": build.land,
+    "or": build.lor,
+}
+
+
+def rule_missing_propagation(expr):
+    """``f(a..., missing, b...) => missing`` for propagating operators."""
+    if not isinstance(expr, Call) or not expr.op.propagates_missing:
+        return None
+    if any(isinstance(a, Literal) and a.is_missing for a in expr.args):
+        return Literal(ops.MISSING)
+    return None
+
+
+def rule_renormalize(expr):
+    """Rebuild calls through the smart constructors.
+
+    This one rule subsumes flattening, identity/annihilator elements and
+    constant folding, because the constructors in :mod:`repro.ir.build`
+    perform those simplifications on construction.
+    """
+    if not isinstance(expr, Call):
+        return None
+    builder = _VARIADIC_BUILDERS.get(expr.op.name)
+    if builder is not None:
+        out = builder(*expr.args)
+    elif expr.op.name == "coalesce":
+        out = build.coalesce(*expr.args)
+    elif expr.op.name == "sub":
+        out = build.minus(*expr.args)
+    elif all(isinstance(a, Literal) for a in expr.args):
+        out = Literal(expr.op.fold(*[a.value for a in expr.args]))
+    else:
+        return None
+    return None if out == expr else out
+
+
+def rule_double_negation(expr):
+    """``-(-a) => a``."""
+    if (isinstance(expr, Call) and expr.op.name == "neg"
+            and isinstance(expr.args[0], Call)
+            and expr.args[0].op.name == "neg"):
+        return expr.args[0].args[0]
+    return None
+
+
+def rule_mul_of_negation(expr):
+    """``*(a..., -b, c...) => -(*(a..., b, c...))``."""
+    if not isinstance(expr, Call) or expr.op.name != "mul":
+        return None
+    for position, arg in enumerate(expr.args):
+        if isinstance(arg, Call) and arg.op.name == "neg":
+            rest = list(expr.args)
+            rest[position] = arg.args[0]
+            return build.negate(build.times(*rest))
+    return None
+
+
+def rule_sub_zero_lhs(expr):
+    """``0 - b => -b``."""
+    if (isinstance(expr, Call) and expr.op.name == "sub"
+            and isinstance(expr.args[0], Literal)
+            and expr.args[0].value == 0
+            and not isinstance(expr.args[0].value, bool)):
+        return build.negate(expr.args[1])
+    return None
+
+
+def rule_not_not(expr):
+    """``not not a => a``."""
+    if (isinstance(expr, Call) and expr.op.name == "not"
+            and isinstance(expr.args[0], Call)
+            and expr.args[0].op.name == "not"):
+        return expr.args[0].args[0]
+    return None
+
+
+def rule_self_comparison(expr):
+    """``x == x => true`` and ``x != x => false`` for identical terms.
+
+    All IR expressions are pure, so structural equality implies value
+    equality (floating NaN never appears as a literal index).
+    """
+    if not isinstance(expr, Call) or len(expr.args) != 2:
+        return None
+    lhs, rhs = expr.args
+    if lhs != rhs:
+        return None
+    if expr.op.name in ("eq", "le", "ge"):
+        return Literal(True)
+    if expr.op.name in ("ne", "lt", "gt"):
+        return Literal(False)
+    return None
+
+
+def rule_ifelse_literal_condition(expr):
+    """``ifelse(true, a, b) => a`` and ``ifelse(false, a, b) => b``."""
+    if (isinstance(expr, Call) and expr.op.name == "ifelse"
+            and isinstance(expr.args[0], Literal)):
+        return expr.args[1] if expr.args[0].value else expr.args[2]
+    return None
+
+
+def _affine_parts(expr):
+    """Decompose ``expr`` as ``base + offset`` with an integer offset.
+
+    Returns ``(base_keys, offset)`` where ``base_keys`` is a sorted
+    tuple of structural keys of the non-constant terms.  Two
+    expressions with equal bases differ by a known constant, letting
+    comparisons like ``stop - 1 < stop`` fold statically — which is
+    what turns spike truncations into clean runs instead of runtime
+    switches.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return (), value
+        return (expr.key(),), 0
+    if isinstance(expr, Call) and expr.op.name == "add":
+        bases = []
+        offset = 0
+        for arg in expr.args:
+            arg_bases, arg_offset = _affine_parts(arg)
+            bases.extend(arg_bases)
+            offset += arg_offset
+        return tuple(sorted(bases)), offset
+    if isinstance(expr, Call) and expr.op.name == "sub":
+        lhs_bases, lhs_offset = _affine_parts(expr.args[0])
+        rhs = expr.args[1]
+        if (isinstance(rhs, Literal) and isinstance(rhs.value, int)
+                and not isinstance(rhs.value, bool)):
+            return lhs_bases, lhs_offset - rhs.value
+    return (expr.key(),), 0
+
+
+_COMPARE_BY_OFFSET = {
+    "eq": lambda d: d == 0,
+    "ne": lambda d: d != 0,
+    "lt": lambda d: d < 0,
+    "le": lambda d: d <= 0,
+    "gt": lambda d: d > 0,
+    "ge": lambda d: d >= 0,
+}
+
+
+def rule_affine_comparison(expr):
+    """Fold comparisons of expressions differing by an integer constant:
+    ``x - 1 == x => false``, ``x < x + 2 => true``."""
+    if not isinstance(expr, Call) or len(expr.args) != 2:
+        return None
+    compare = _COMPARE_BY_OFFSET.get(expr.op.name)
+    if compare is None:
+        return None
+    lhs_bases, lhs_offset = _affine_parts(expr.args[0])
+    rhs_bases, rhs_offset = _affine_parts(expr.args[1])
+    if lhs_bases != rhs_bases:
+        return None
+    return Literal(compare(lhs_offset - rhs_offset))
+
+
+DEFAULT_EXPR_RULES = (
+    rule_missing_propagation,
+    rule_renormalize,
+    rule_double_negation,
+    rule_mul_of_negation,
+    rule_sub_zero_lhs,
+    rule_not_not,
+    rule_self_comparison,
+    rule_affine_comparison,
+    rule_ifelse_literal_condition,
+)

@@ -1,0 +1,21 @@
+"""Tensors: fiber trees with numpy construction and densification."""
+
+from repro.tensors.convert import convert, dropfills
+from repro.tensors.construct import (
+    from_numpy,
+    symmetric_from_numpy,
+    triangular_from_numpy,
+    zeros,
+)
+from repro.tensors.tensor import Scalar, Tensor
+
+__all__ = [
+    "convert",
+    "dropfills",
+    "from_numpy",
+    "symmetric_from_numpy",
+    "triangular_from_numpy",
+    "zeros",
+    "Scalar",
+    "Tensor",
+]

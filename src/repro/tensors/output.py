@@ -1,0 +1,258 @@
+"""Structured output assembly.
+
+Dense and scalar outputs are written in place through the locate path.
+This module adds *append-style* outputs, where the kernel emits runs of
+equal values instead of storing every element:
+
+:class:`RunOutput`
+    a run-length-encoded result (the paper's Figure 10 writes blended
+    images as RLE).  When the compiler proves a whole region is
+    assigned one constant (the run pass reduced every input to a
+    scalar), it appends a single run covering the region — O(runs)
+    work instead of O(pixels).
+
+The builder is handed to the kernel as a parameter; emitted code calls
+``append_run(flat_start, flat_stop, value)`` with *flattened*
+coordinates (row-major), and :meth:`RunOutput.finalize` splits the run
+stream back into per-fiber RLE arrays (merging adjacent equal runs).
+"""
+
+import numpy as np
+
+from repro.formats.dense import DenseLevel
+from repro.formats.element import ElementLevel
+from repro.formats.rle import RunLengthLevel
+from repro.tensors.tensor import Tensor
+from repro.util.errors import FormatError, ReproError
+
+
+class RunBuilder:
+    """Mutable run stream targeted by emitted kernels."""
+
+    def __init__(self, total, fill):
+        self.total = total
+        self.fill = fill
+        self.ends = []
+        self.values = []
+        self._cursor = 0
+
+    def reset(self):
+        self.ends = []
+        self.values = []
+        self._cursor = 0
+
+    def append_run(self, start, stop, value):
+        """Record ``value`` over flat coordinates ``[start, stop)``.
+
+        Appends must arrive in coordinate order; gaps are filled with
+        the fill value; adjacent equal values merge.
+        """
+        if stop <= start:
+            return
+        if start < self._cursor:
+            raise ReproError(
+                "run appended out of order: [%d, %d) after cursor %d"
+                % (start, stop, self._cursor))
+        if start > self._cursor:
+            self._push(start, self.fill)
+        self._push(stop, value)
+
+    def _push(self, end, value):
+        if self.values and self.values[-1] == value:
+            self.ends[-1] = end
+        else:
+            self.ends.append(end)
+            self.values.append(value)
+        self._cursor = end
+
+    def close(self):
+        if self._cursor < self.total:
+            self._push(self.total, self.fill)
+
+
+class RunOutput:
+    """An output tensor assembled as run-length-encoded fibers.
+
+    Behaves enough like a Tensor for the eDSL (``__getitem__``,
+    ``shape``, ``fill``); after the kernel runs, :meth:`to_tensor`
+    yields a real Dense/RunLength tensor and :meth:`to_numpy` a dense
+    array.
+    """
+
+    def __init__(self, shape, fill=0.0, dtype=np.float64, name=None):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        if not self.shape:
+            raise FormatError("RunOutput needs at least one mode")
+        self.fill = fill
+        self.dtype = np.dtype(dtype)
+        self.name = name or "R"
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        self.builder = RunBuilder(total, fill)
+
+    @property
+    def ndim(self):
+        return len(self.shape)
+
+    def __getitem__(self, idxs):
+        from repro.cin.builders import access
+
+        if not isinstance(idxs, tuple):
+            idxs = (idxs,)
+        if len(idxs) != self.ndim:
+            raise FormatError("%s has %d modes" % (self.name, self.ndim))
+        return access(self, *idxs)
+
+    def finalize(self):
+        """Split the flat run stream into per-row RLE arrays."""
+        self.builder.close()
+        inner = self.shape[-1]
+        rows = self.builder.total // max(inner, 1)
+        pos = [0]
+        right = []
+        values = []
+        ends = self.builder.ends
+        vals = self.builder.values
+        q = 0
+        for row in range(rows):
+            row_end = (row + 1) * inner
+            while q < len(ends) and ends[q] <= row_end:
+                right.append(ends[q] - row * inner)
+                values.append(vals[q])
+                q += 1
+            if not right or pos[-1] == len(right) or right[-1] != inner:
+                # A run crosses the row boundary: split it.
+                right.append(inner)
+                values.append(vals[q] if q < len(ends) else self.fill)
+            pos.append(len(right))
+        element = ElementLevel(np.array(values or [self.fill],
+                                        dtype=self.dtype)[:len(values)]
+                               if values else
+                               np.zeros(0, dtype=self.dtype),
+                               fill_value=self.fill)
+        rle = RunLengthLevel(inner, element, pos, right)
+        levels = [rle]
+        child = rle
+        for dim in reversed(self.shape[:-1]):
+            child = DenseLevel(dim, child)
+            levels.insert(0, child)
+        return Tensor(levels, element, name=self.name)
+
+    def to_tensor(self):
+        return self.finalize()
+
+    def to_numpy(self):
+        return self.finalize().to_numpy()
+
+    def run_count(self):
+        """Number of stored runs (work measure for RLE outputs)."""
+        self.builder.close()
+        return len(self.builder.ends)
+
+
+class SparseBuilder:
+    """Mutable coordinate stream for sparse outputs."""
+
+    def __init__(self, total, fill):
+        self.total = total
+        self.fill = fill
+        self.coords = []
+        self.values = []
+
+    def reset(self):
+        self.coords = []
+        self.values = []
+
+    def append(self, flat, value):
+        """Record a non-fill value at flat coordinate ``flat``.
+
+        Appends must arrive in strictly increasing coordinate order
+        (overwrite semantics make repeats ambiguous, so they are
+        rejected rather than silently merged).
+        """
+        if self.coords and flat <= self.coords[-1]:
+            raise ReproError(
+                "sparse output coordinate %d appended out of order"
+                % (flat,))
+        self.coords.append(flat)
+        self.values.append(value)
+
+
+class SparseOutput:
+    """An output tensor assembled as per-fiber sorted coordinate lists.
+
+    The compiler guards every store with a fill check, so only non-fill
+    results are appended — the classic sparse-result assembly.  After
+    the kernel runs, :meth:`to_tensor` yields a Dense/.../SparseList
+    tensor.
+    """
+
+    def __init__(self, shape, fill=0.0, dtype=np.float64, name=None):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        if not self.shape:
+            raise FormatError("SparseOutput needs at least one mode")
+        self.fill = fill
+        self.dtype = np.dtype(dtype)
+        self.name = name or "S"
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        self.builder = SparseBuilder(total, fill)
+
+    @property
+    def ndim(self):
+        return len(self.shape)
+
+    def __getitem__(self, idxs):
+        from repro.cin.builders import access
+
+        if not isinstance(idxs, tuple):
+            idxs = (idxs,)
+        if len(idxs) != self.ndim:
+            raise FormatError("%s has %d modes" % (self.name, self.ndim))
+        return access(self, *idxs)
+
+    def finalize(self):
+        """Split the flat coordinate stream into per-row lists."""
+        from repro.formats.sparse_list import SparseListLevel
+
+        inner = self.shape[-1]
+        rows = self.builder.total // max(inner, 1)
+        pos = [0]
+        idx = []
+        values = []
+        q = 0
+        coords = self.builder.coords
+        vals = self.builder.values
+        for row in range(rows):
+            row_end = (row + 1) * inner
+            while q < len(coords) and coords[q] < row_end:
+                idx.append(coords[q] - row * inner)
+                values.append(vals[q])
+                q += 1
+            pos.append(len(idx))
+        element = ElementLevel(np.array(values, dtype=self.dtype)
+                               if values else np.zeros(0, dtype=self.dtype),
+                               fill_value=self.fill)
+        sparse = SparseListLevel(inner, element, pos, idx)
+        levels = [sparse]
+        child = sparse
+        for dim in reversed(self.shape[:-1]):
+            child = DenseLevel(dim, child)
+            levels.insert(0, child)
+        return Tensor(levels, element, name=self.name)
+
+    def to_tensor(self):
+        return self.finalize()
+
+    def to_numpy(self):
+        return self.finalize().to_numpy()
+
+    def nnz(self):
+        """Number of stored (non-fill) entries."""
+        return len(self.builder.coords)

@@ -1,0 +1,106 @@
+"""The Tensor: a stack of level formats plus an element level.
+
+``Tensor([lvl0, lvl1], element)`` describes a 2-tensor whose rows are
+stored by ``lvl0`` and columns by ``lvl1``.  Indexing a tensor with loop
+indices produces CIN :class:`~repro.cin.nodes.Access` nodes, so tensors
+participate directly in the eDSL: ``y[i] += A[i, j] * x[j]``.
+"""
+
+import numpy as np
+
+from repro.cin.builders import access
+from repro.formats.element import ElementLevel
+from repro.formats.level import FiberSlice
+from repro.util.errors import DimensionError, FormatError
+
+
+class Tensor:
+    """A fiber-tree tensor (Section 4 of the paper)."""
+
+    def __init__(self, levels, element, name=None):
+        levels = list(levels)
+        if not isinstance(element, ElementLevel):
+            raise FormatError("tensor must terminate in an ElementLevel")
+        chained = element
+        for level in reversed(levels):
+            if level.child is not chained:
+                raise FormatError(
+                    "levels must chain parent.child -> child; build "
+                    "tensors innermost-out or use the constructors in "
+                    "repro.tensors.construct")
+            chained = level
+        self.levels = tuple(levels)
+        self.element = element
+        self.name = name or "T"
+
+    @property
+    def ndim(self):
+        return len(self.levels)
+
+    @property
+    def shape(self):
+        return tuple(level.shape for level in self.levels)
+
+    @property
+    def fill(self):
+        return self.element.fill_value
+
+    @property
+    def dtype(self):
+        return self.element.val.dtype
+
+    def root(self):
+        """The root fiber of the tree."""
+        if self.levels:
+            return FiberSlice(self.levels[0], 0)
+        return FiberSlice(self.element, 0)
+
+    def __getitem__(self, idxs):
+        if idxs == ():
+            return access(self)
+        if not isinstance(idxs, tuple):
+            idxs = (idxs,)
+        if len(idxs) != self.ndim:
+            raise DimensionError(
+                "%s has %d modes, got %d indices"
+                % (self.name, self.ndim, len(idxs)))
+        return access(self, *idxs)
+
+    def to_numpy(self):
+        """Densify (tests and oracles; O(product of dims))."""
+        if not self.levels:
+            return self.element.val[0]
+        return np.asarray(self.levels[0].fiber_to_numpy(0))
+
+    def buffers(self):
+        """All numpy arrays backing this tensor, with name hints."""
+        out = {}
+        for depth, level in enumerate(self.levels):
+            for hint, array in level.buffers().items():
+                out["lvl%d_%s" % (depth, hint)] = array
+        out["val"] = self.element.val
+        return out
+
+    def __repr__(self):
+        layout = "/".join(type(level).__name__.replace("Level", "")
+                          for level in self.levels) or "Scalar"
+        return "Tensor(%s, %s, shape=%s)" % (self.name, layout, self.shape)
+
+
+class Scalar(Tensor):
+    """A zero-dimensional tensor (the paper's ``C[]`` results)."""
+
+    def __init__(self, value=0.0, name=None, dtype=np.float64):
+        element = ElementLevel(np.array([value], dtype=dtype),
+                               fill_value=value if value else 0.0)
+        super().__init__([], element, name=name or "scalar")
+
+    @property
+    def value(self):
+        return self.element.val[0].item()
+
+    def set(self, value):
+        self.element.val[0] = value
+
+    def __repr__(self):
+        return "Scalar(%s=%r)" % (self.name, self.value)

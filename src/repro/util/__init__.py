@@ -1,0 +1,22 @@
+"""Small shared utilities: errors and fresh-name generation."""
+
+from repro.util.errors import (
+    DimensionError,
+    FormatError,
+    LoweringError,
+    ParseError,
+    ProtocolError,
+    ReproError,
+)
+from repro.util.namer import Namer, sanitize
+
+__all__ = [
+    "DimensionError",
+    "FormatError",
+    "LoweringError",
+    "Namer",
+    "ParseError",
+    "ProtocolError",
+    "ReproError",
+    "sanitize",
+]

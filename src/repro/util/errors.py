@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LoweringError(ReproError):
+    """The compiler could not lower a program.
+
+    Raised when style resolution fails, when an access cannot be unfurled
+    in the requested loop order, or when a looplet is used outside the
+    region it was declared for.
+    """
+
+
+class FormatError(ReproError):
+    """A level format was constructed from inconsistent data."""
+
+
+class ParseError(ReproError):
+    """The CIN text parser rejected its input."""
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = "%s (line %d, column %d)" % (message, line, col)
+        super().__init__(message)
+
+
+class ProtocolError(ReproError):
+    """A format was asked to unfurl under a protocol it does not support."""
+
+
+class DimensionError(ReproError):
+    """Tensor dimensions or loop extents are inconsistent."""

@@ -1,0 +1,54 @@
+"""Fresh-name generation for emitted code.
+
+The compiler introduces many runtime variables (stepper positions, phase
+stops, accumulators).  A :class:`Namer` hands out names that are unique
+within one compilation unit while staying readable: ``p``, ``p_2``,
+``p_3``, ``phase_stop``, ``phase_stop_2`` and so on.
+"""
+
+import keyword
+import re
+
+_IDENT = re.compile(r"[^0-9a-zA-Z_]+")
+
+
+def sanitize(hint):
+    """Turn an arbitrary hint string into a valid Python identifier."""
+    name = _IDENT.sub("_", str(hint)).strip("_")
+    if not name:
+        name = "v"
+    if name[0].isdigit():
+        name = "v" + name
+    if keyword.iskeyword(name):
+        name = name + "_"
+    return name
+
+
+class Namer:
+    """Generates unique, readable identifiers.
+
+    >>> n = Namer()
+    >>> n.fresh("p")
+    'p'
+    >>> n.fresh("p")
+    'p_2'
+    >>> n.fresh("while")
+    'while_'
+    """
+
+    def __init__(self, reserved=()):
+        self._counts = {}
+        for name in reserved:
+            self._counts[name] = 1
+
+    def fresh(self, hint="v"):
+        base = sanitize(hint)
+        count = self._counts.get(base, 0) + 1
+        self._counts[base] = count
+        if count == 1:
+            return base
+        return "%s_%d" % (base, count)
+
+    def reserve(self, name):
+        """Mark ``name`` as taken without returning it."""
+        self._counts[name] = max(self._counts.get(name, 0), 1)

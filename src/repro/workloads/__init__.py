@@ -1,0 +1,5 @@
+"""Workload generators substituting for the paper's datasets."""
+
+from repro.workloads import graphs, images, matrices
+
+__all__ = ["graphs", "images", "matrices"]

@@ -1,0 +1,102 @@
+"""Synthetic image generators (substitutes for MNIST / EMNIST /
+Omniglot / Humansketches in the paper's Figures 10 and 11).
+
+The structural features that matter to the experiments:
+
+* digit-like images (MNIST/EMNIST): a white background with one
+  connected cluster of ink — long background runs (RLE), clustered
+  nonzeros (VBL);
+* character-like images (Omniglot): thinner strokes and noisier
+  backgrounds — shorter runs, favoring sparse lists over RLE;
+* sketch-like images (Humansketches): larger canvases with sparse
+  strokes; the paper's 1111x1111 canvas is scaled down so pure-Python
+  kernels finish (documented in DESIGN.md).
+"""
+
+import numpy as np
+
+
+def _stroke(canvas, rng, thickness, value_range):
+    """Draw one random polyline stroke onto the canvas."""
+    n = canvas.shape[0]
+    x, y = rng.integers(n // 4, 3 * n // 4, size=2)
+    steps = rng.integers(n // 2, n)
+    dx, dy = rng.choice([-1, 0, 1], size=2)
+    for _ in range(steps):
+        if rng.random() < 0.3:
+            dx, dy = rng.choice([-1, 0, 1], size=2)
+        x = int(np.clip(x + dx, 0, n - 1))
+        y = int(np.clip(y + dy, 0, n - 1))
+        lo_x, hi_x = max(0, x - thickness), min(n, x + thickness + 1)
+        lo_y, hi_y = max(0, y - thickness), min(n, y + thickness + 1)
+        patch = rng.integers(value_range[0], value_range[1],
+                             size=(hi_x - lo_x, hi_y - lo_y))
+        canvas[lo_x:hi_x, lo_y:hi_y] = np.maximum(
+            canvas[lo_x:hi_x, lo_y:hi_y], patch)
+    return canvas
+
+
+def digit_like(size=28, seed=0):
+    """MNIST-like: black background, one thick bright blob of strokes."""
+    rng = np.random.default_rng(seed)
+    canvas = np.zeros((size, size), dtype=np.uint8)
+    for _ in range(rng.integers(1, 3)):
+        _stroke(canvas, rng, thickness=1, value_range=(120, 256))
+    return canvas
+
+
+def character_like(size=32, seed=0, background=8, speckle=0.02):
+    """Omniglot-like: thin strokes on a uniform *nonzero* paper tone.
+
+    The nonzero background is the property the paper's Figure 11
+    highlights: sparse and VBL formats must store every pixel, while
+    run-length encoding still captures the long constant runs.
+    """
+    rng = np.random.default_rng(seed)
+    canvas = np.full((size, size), background, dtype=np.uint8)
+    for _ in range(rng.integers(2, 5)):
+        _stroke(canvas, rng, thickness=0, value_range=(100, 256))
+    noise_mask = rng.random((size, size)) < speckle
+    canvas[noise_mask] = rng.integers(1, 40, size=int(noise_mask.sum()))
+    return canvas
+
+
+def sketch_like(size=96, seed=0):
+    """Humansketches-like: large canvas, several thin strokes."""
+    rng = np.random.default_rng(seed)
+    canvas = np.zeros((size, size), dtype=np.uint8)
+    for _ in range(rng.integers(4, 9)):
+        _stroke(canvas, rng, thickness=0, value_range=(150, 256))
+    return canvas
+
+
+def image_batch(kind, count, size=None, seed=0):
+    """A stack of images, shape ``(count, size, size)``."""
+    makers = {"digit": digit_like, "character": character_like,
+              "sketch": sketch_like}
+    defaults = {"digit": 28, "character": 32, "sketch": 96}
+    maker = makers[kind]
+    size = size or defaults[kind]
+    return np.stack([maker(size, seed=seed + k) for k in range(count)])
+
+
+def linearized_batch(kind, count, size=None, seed=0):
+    """Images flattened to rows, shape ``(count, size * size)`` — the
+    layout of the all-pairs similarity kernel (Figure 11)."""
+    batch = image_batch(kind, count, size=size, seed=seed)
+    return batch.reshape(batch.shape[0], -1)
+
+
+def background_run_fraction(image):
+    """Fraction of pixels inside background runs of length >= 4 (a
+    cheap RLE-friendliness measure used by tests)."""
+    flat = np.asarray(image).ravel()
+    runs = 0
+    j = 0
+    while j < len(flat):
+        start = j
+        while j < len(flat) and flat[j] == flat[start]:
+            j += 1
+        if flat[start] == 0 and j - start >= 4:
+            runs += j - start
+    return runs / max(1, len(flat))

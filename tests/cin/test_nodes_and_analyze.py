@@ -1,0 +1,191 @@
+"""Unit tests for CIN nodes, builders, and static analysis."""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.cin.analyze import (
+    check_program,
+    forall_indices,
+    infer_extents,
+    output_tensors,
+    program_tensors,
+)
+from repro.cin.nodes import (
+    Access,
+    Assign,
+    Forall,
+    OffsetExpr,
+    PermitExpr,
+    Sieve,
+    WindowExpr,
+    collect_accesses,
+    index_base,
+    walk_stmts,
+)
+from repro.ir import Extent, Literal, Var, ops
+from repro.util.errors import DimensionError, ReproError
+
+
+@pytest.fixture
+def vectors():
+    A = fl.from_numpy(np.zeros(8), ("sparse",), name="A")
+    B = fl.from_numpy(np.zeros(8), ("dense",), name="B")
+    C = fl.Scalar(name="C")
+    return A, B, C
+
+
+class TestAccessNode:
+    def test_protocol_count_checked(self, vectors):
+        A, _, _ = vectors
+        with pytest.raises(ReproError):
+            Access(A, (Var("i"),), protocols=("walk", "walk"))
+
+    def test_unknown_protocol_rejected(self, vectors):
+        A, _, _ = vectors
+        with pytest.raises(ReproError):
+            Access(A, (Var("i"),), protocols=("zigzag",))
+
+    def test_structural_equality_by_tensor_identity(self, vectors):
+        A, B, _ = vectors
+        assert Access(A, (Var("i"),)) == Access(A, (Var("i"),))
+        assert Access(A, (Var("i"),)) != Access(B, (Var("i"),))
+
+    def test_substitution_reaches_modifier_deltas(self, vectors):
+        from repro.ir.nodes import substitute
+
+        A, _, _ = vectors
+        idx = PermitExpr(OffsetExpr(Var("d"), Var("j")))
+        acc = Access(A, (idx,))
+        out = substitute(acc, {"d": Literal(5)})
+        assert out.idxs[0].base.delta == Literal(5)
+
+    def test_index_base(self):
+        idx = PermitExpr(OffsetExpr(Literal(1), WindowExpr(
+            Literal(0), Literal(4), Var("k"))))
+        assert index_base(idx) == Var("k")
+
+
+class TestBuilders:
+    def test_foralls_nesting_order(self, vectors):
+        A, _, C = vectors
+        stmt = fl.foralls(["i", "j"], fl.increment(C[()], Literal(1.0)))
+        assert isinstance(stmt, Forall) and stmt.index.name == "i"
+        assert stmt.body.index.name == "j"
+
+    def test_protocol_marker_on_modifier_rejected(self):
+        with pytest.raises(ReproError):
+            fl.offset(fl.gallop(Var("j")), 2)
+
+    def test_reduce_into_validates_op(self, vectors):
+        A, _, C = vectors
+        with pytest.raises(ReproError):
+            Assign(C[()], 42, Literal(1.0))
+
+    def test_assignment_target_must_be_access(self):
+        with pytest.raises(ReproError):
+            Assign(Var("x"), ops.ADD, Literal(1.0))
+
+    def test_expression_operators(self, vectors):
+        A, B, _ = vectors
+        i = fl.indices("i")
+        expr = 2.0 * A[i] + B[i] / 3.0 - 1.0
+        # Accesses expose their index variables (substitution must
+        # reach them) but hide the tensors themselves.
+        assert expr.free_vars() == {"i"}
+
+
+class TestAnalysis:
+    def test_program_tensors_in_order(self, vectors):
+        A, B, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+        tensors = program_tensors(prog)
+        assert tensors[0] is C or tensors[0] is A  # lhs visited first
+        assert any(t is B for t in tensors)
+
+    def test_output_detection(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i]))
+        assert output_tensors(prog) == [C]
+
+    def test_forall_indices_outermost_first(self, vectors):
+        A, _, C = vectors
+        prog = fl.foralls(["i", "j"], fl.increment(C[()], Literal(1.0)),
+                          exts={"i": (0, 2), "j": (0, 3)})
+        assert forall_indices(prog) == ["i", "j"]
+
+    def test_extent_inference_from_shape(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i]))
+        assert infer_extents(prog)["i"] == Extent(0, 8)
+
+    def test_extent_inference_window(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], fl.access(
+            A, fl.window(i, 2, 6))))
+        assert infer_extents(prog)["i"] == Extent(0, 4)
+
+    def test_permit_gives_no_candidate(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], fl.access(
+            A, fl.permit(i))))
+        with pytest.raises(DimensionError):
+            infer_extents(prog)
+
+    def test_explicit_extent_wins(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i]), ext=(0, 3))
+        assert infer_extents(prog)["i"] == Extent(0, 3)
+
+    def test_conflicting_static_extents(self, vectors):
+        A, _, C = vectors
+        short = fl.from_numpy(np.zeros(5), ("dense",), name="S")
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i] * short[i]))
+        with pytest.raises(DimensionError):
+            infer_extents(prog)
+
+    def test_rank_mismatch(self, vectors):
+        A, _, C = vectors
+        i, j = fl.indices("i", "j")
+        prog = fl.forall(i, fl.forall(j, fl.increment(
+            C[()], Access(A, (i, j)))))
+        with pytest.raises(DimensionError):
+            infer_extents(prog)
+
+    def test_duplicate_index_rejected(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.forall(i, fl.increment(C[()], A[i])))
+        with pytest.raises(ReproError):
+            check_program(prog)
+
+    def test_modified_output_index_rejected(self, vectors):
+        A, _, _ = vectors
+        y = fl.zeros(8, name="y")
+        i = fl.indices("i")
+        bad = Assign(Access(y, (fl.offset(i, 1),)), ops.ADD, A[i])
+        with pytest.raises(ReproError):
+            check_program(fl.forall(i, bad))
+
+    def test_collect_accesses_covers_sieve_conditions(self, vectors):
+        A, _, C = vectors
+        i = fl.indices("i")
+        prog = fl.forall(i, Sieve(fl.gt(A[i], 0.0),
+                                  fl.increment(C[()], Literal(1.0))))
+        accesses = collect_accesses(prog)
+        assert any(acc.tensor is A for acc in accesses)
+
+    def test_walk_stmts_preorder(self, vectors):
+        A, _, C = vectors
+        i, j = fl.indices("i", "j")
+        prog = fl.forall(i, fl.forall(j, fl.increment(C[()], Literal(1.0)),
+                                      ext=(0, 1)), ext=(0, 1))
+        kinds = [type(s).__name__ for s in walk_stmts(prog)]
+        assert kinds == ["Forall", "Forall", "Assign"]

@@ -1,0 +1,121 @@
+"""Unit tests for CIN statement simplification (Figure 5 stmt rules)."""
+
+import numpy as np
+
+import repro.lang as fl
+from repro.cin.nodes import Assign, Forall, Multi, Pass, Sieve, Where
+from repro.compiler.stmt_simplify import is_identity_literal, simplify_stmt
+from repro.ir import Call, Literal, Var, build, ops
+
+
+def make_scalar():
+    return fl.Scalar(name="C")
+
+
+def make_assign(rhs, op=ops.ADD):
+    C = make_scalar()
+    return Assign(C[()], op, rhs), C
+
+
+class TestAssignRules:
+    def test_increment_by_zero_becomes_pass(self):
+        stmt, C = make_assign(Literal(0))
+        out = simplify_stmt(stmt)
+        assert isinstance(out, Pass)
+        assert out.tensors[0] is C
+
+    def test_increment_by_float_zero_becomes_pass(self):
+        stmt, _ = make_assign(Literal(0.0))
+        assert isinstance(simplify_stmt(stmt), Pass)
+
+    def test_multiply_by_one_becomes_pass(self):
+        stmt, _ = make_assign(Literal(1.0), op=ops.MUL)
+        assert isinstance(simplify_stmt(stmt), Pass)
+
+    def test_overwrite_is_never_elided(self):
+        stmt, _ = make_assign(Literal(0.0), op=None)
+        out = simplify_stmt(stmt)
+        assert isinstance(out, Assign)
+
+    def test_rhs_is_simplified(self):
+        stmt, _ = make_assign(Call(ops.MUL, [Var("x"), Literal(0)]))
+        assert isinstance(simplify_stmt(stmt), Pass)
+
+    def test_nonzero_rhs_kept(self):
+        stmt, _ = make_assign(Var("x"))
+        out = simplify_stmt(stmt)
+        assert isinstance(out, Assign)
+        assert out.rhs == Var("x")
+
+
+class TestControlRules:
+    def test_forall_over_pass_collapses(self):
+        stmt, _ = make_assign(Literal(0))
+        loop = Forall(Var("i"), stmt)
+        assert isinstance(simplify_stmt(loop), Pass)
+
+    def test_sieve_true_unwraps(self):
+        stmt, _ = make_assign(Var("x"))
+        out = simplify_stmt(Sieve(Literal(True), stmt))
+        assert isinstance(out, Assign)
+
+    def test_sieve_false_passes(self):
+        stmt, C = make_assign(Var("x"))
+        out = simplify_stmt(Sieve(Literal(False), stmt))
+        assert isinstance(out, Pass)
+        assert out.tensors[0] is C
+
+    def test_sieve_runtime_cond_kept(self):
+        stmt, _ = make_assign(Var("x"))
+        out = simplify_stmt(Sieve(build.gt(Var("y"), 0), stmt))
+        assert isinstance(out, Sieve)
+
+    def test_sieve_cond_simplified(self):
+        stmt, _ = make_assign(Var("x"))
+        cond = Call(ops.AND, [Literal(True), Literal(True)])
+        out = simplify_stmt(Sieve(cond, stmt))
+        assert isinstance(out, Assign)
+
+    def test_where_with_pass_producer(self):
+        consumer, _ = make_assign(Var("x"))
+        producer, _ = make_assign(Literal(0))
+        out = simplify_stmt(Where(consumer, producer))
+        assert isinstance(out, Assign)
+
+    def test_where_with_pass_consumer(self):
+        consumer, _ = make_assign(Literal(0))
+        producer, _ = make_assign(Var("x"))
+        out = simplify_stmt(Where(consumer, producer))
+        assert isinstance(out, Pass)
+
+    def test_multi_drops_dead_children(self):
+        live, _ = make_assign(Var("x"))
+        dead, _ = make_assign(Literal(0))
+        out = simplify_stmt(Multi([live, dead]))
+        assert isinstance(out, Multi)
+        assert len(out.stmts) == 1
+
+    def test_multi_all_dead_becomes_pass(self):
+        dead1, _ = make_assign(Literal(0))
+        dead2, _ = make_assign(Literal(0))
+        assert isinstance(simplify_stmt(Multi([dead1, dead2])), Pass)
+
+    def test_untouched_statement_shared(self):
+        stmt, _ = make_assign(Var("x"))
+        loop = Forall(Var("i"), stmt)
+        assert simplify_stmt(loop) is loop
+
+
+class TestIdentityLiteral:
+    def test_int_float_bool_zero(self):
+        assert is_identity_literal(Literal(0), ops.ADD)
+        assert is_identity_literal(Literal(0.0), ops.ADD)
+        assert is_identity_literal(Literal(False), ops.ADD)
+
+    def test_non_identity(self):
+        assert not is_identity_literal(Literal(1), ops.ADD)
+        assert not is_identity_literal(Var("x"), ops.ADD)
+        assert not is_identity_literal(Literal(0), None)
+
+    def test_ops_without_identity(self):
+        assert not is_identity_literal(Literal(0), ops.MIN)

@@ -1,0 +1,157 @@
+"""Format construction validation: malformed level data must be
+rejected loudly at build time, not misread at kernel time."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BitmapLevel,
+    DenseLevel,
+    ElementLevel,
+    PackBitsLevel,
+    RaggedLevel,
+    RunLengthLevel,
+    SparseBandLevel,
+    SparseListLevel,
+    SparseVBLLevel,
+    SymmetricLevel,
+    TriangularLevel,
+)
+from repro.tensors import Scalar, Tensor
+from repro.util.errors import FormatError
+
+
+def element(n=8, fill=0.0):
+    return ElementLevel(np.arange(float(n)), fill_value=fill)
+
+
+class TestElement:
+    def test_flat_values_required(self):
+        with pytest.raises(FormatError):
+            ElementLevel(np.zeros((2, 2)))
+
+    def test_fill_property(self):
+        level = ElementLevel(np.zeros(3), fill_value=7.0)
+        assert level.fill == 7.0
+
+
+class TestSparseList:
+    def test_pos_must_end_at_nnz(self):
+        with pytest.raises(FormatError):
+            SparseListLevel(5, element(3), pos=[0, 2], idx=[1, 3, 4])
+
+    def test_indices_must_increase(self):
+        with pytest.raises(FormatError):
+            SparseListLevel(5, element(2), pos=[0, 2], idx=[3, 1])
+
+    def test_indices_within_shape(self):
+        with pytest.raises(FormatError):
+            SparseListLevel(5, element(1), pos=[0, 1], idx=[9])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(FormatError):
+            SparseListLevel(5, element(2), pos=[0, 2], idx=[2, 2])
+
+
+class TestBand:
+    def test_one_start_per_fiber(self):
+        with pytest.raises(FormatError):
+            SparseBandLevel(6, element(3), pos=[0, 3], lo=[1, 2])
+
+    def test_band_within_bounds(self):
+        with pytest.raises(FormatError):
+            SparseBandLevel(4, element(3), pos=[0, 3], lo=[2])
+
+
+class TestVBL:
+    def test_ofs_needs_sentinel(self):
+        with pytest.raises(FormatError):
+            SparseVBLLevel(6, element(2), pos=[0, 1], end=[3], ofs=[0])
+
+    def test_block_width_positive(self):
+        with pytest.raises(FormatError):
+            SparseVBLLevel(6, element(2), pos=[0, 1], end=[3],
+                           ofs=[0, 0])
+
+    def test_block_within_bounds(self):
+        with pytest.raises(FormatError):
+            SparseVBLLevel(4, element(2), pos=[0, 1], end=[6],
+                           ofs=[0, 2])
+
+
+class TestRunLength:
+    def test_runs_must_tile_dimension(self):
+        with pytest.raises(FormatError):
+            RunLengthLevel(6, element(2), pos=[0, 2], right=[2, 5])
+
+    def test_runs_must_increase(self):
+        with pytest.raises(FormatError):
+            RunLengthLevel(6, element(3), pos=[0, 3], right=[4, 2, 6])
+
+
+class TestPackBits:
+    def test_groups_must_tile(self):
+        with pytest.raises(FormatError):
+            PackBitsLevel(8, element(2), pos=[0, 1], idx=[5],
+                          vof=[0, 1])
+
+    def test_vof_sentinel(self):
+        with pytest.raises(FormatError):
+            PackBitsLevel(8, element(2), pos=[0, 1], idx=[8], vof=[0])
+
+
+class TestBitmapAndRagged:
+    def test_tbl_flat(self):
+        with pytest.raises(FormatError):
+            BitmapLevel(4, element(8), tbl=np.zeros((2, 4), dtype=bool))
+
+    def test_tbl_multiple_of_shape(self):
+        with pytest.raises(FormatError):
+            BitmapLevel(3, element(4), tbl=np.zeros(4, dtype=bool))
+
+    def test_ragged_width_bounds(self):
+        with pytest.raises(FormatError):
+            RaggedLevel(3, element(5), pos=[0, 5])
+
+
+class TestPacked:
+    def test_triangular_needs_packed_count(self):
+        with pytest.raises(FormatError):
+            TriangularLevel(4, element(9))  # needs 10
+
+    def test_symmetric_needs_packed_count(self):
+        with pytest.raises(FormatError):
+            SymmetricLevel(4, element(11))
+
+
+class TestTensorAssembly:
+    def test_levels_must_chain(self):
+        inner = element(4)
+        orphan = DenseLevel(4, element(4))
+        with pytest.raises(FormatError):
+            Tensor([orphan], inner)
+
+    def test_must_end_in_element(self):
+        with pytest.raises(FormatError):
+            Tensor([], DenseLevel(4, element(4)))
+
+    def test_scalar_helpers(self):
+        scalar = Scalar(2.5, name="s")
+        assert scalar.value == 2.5
+        scalar.set(7.0)
+        assert scalar.value == 7.0
+        assert scalar.ndim == 0
+        assert scalar.shape == ()
+
+    def test_tensor_repr_mentions_layout(self):
+        leaf = element(4)
+        tensor = Tensor([DenseLevel(4, leaf)], leaf, name="T")
+        assert "Dense" in repr(tensor)
+
+    def test_dimension_error_on_wrong_arity(self):
+        import repro.lang as fl
+        from repro.util.errors import DimensionError
+
+        tensor = fl.from_numpy(np.zeros((2, 3)), ("dense", "dense"))
+        with pytest.raises(DimensionError):
+            tensor[fl.indices("i")]

@@ -1,0 +1,97 @@
+"""Unit tests for IR smart constructors."""
+
+from repro.ir import Call, Literal, MISSING, Var, build, ops
+
+
+class TestPlus:
+    def test_folds_constants(self):
+        assert build.plus(1, 2, 3) == Literal(6)
+
+    def test_drops_zero_identity(self):
+        assert build.plus(Var("x"), 0) == Var("x")
+
+    def test_flattens_nested_adds(self):
+        inner = build.plus(Var("a"), Var("b"))
+        out = build.plus(inner, Var("c"))
+        assert out == Call(ops.ADD, [Var("a"), Var("b"), Var("c")])
+
+    def test_empty_sum_is_zero(self):
+        assert build.plus() == Literal(0)
+
+    def test_constant_first(self):
+        out = build.plus(Var("x"), 2, 3)
+        assert out == Call(ops.ADD, [Literal(5), Var("x")])
+
+
+class TestTimes:
+    def test_annihilator_zero(self):
+        assert build.times(Var("x"), 0) == Literal(0)
+
+    def test_identity_one(self):
+        assert build.times(Var("x"), 1) == Var("x")
+
+    def test_folds(self):
+        assert build.times(2, 3) == Literal(6)
+
+
+class TestMinMax:
+    def test_min_folds(self):
+        assert build.minimum(3, 1, 2) == Literal(1)
+
+    def test_min_keeps_symbolic(self):
+        out = build.minimum(Var("a"), 4, 9)
+        assert out == Call(ops.MIN, [Literal(4), Var("a")])
+
+    def test_max_flattens(self):
+        out = build.maximum(build.maximum(Var("a"), Var("b")), Var("c"))
+        assert out == Call(ops.MAX, [Var("a"), Var("b"), Var("c")])
+
+    def test_single_arg_passthrough(self):
+        assert build.minimum(Var("a")) == Var("a")
+
+
+class TestBool:
+    def test_and_annihilates_on_false(self):
+        assert build.land(Var("p"), False) == Literal(False)
+
+    def test_and_drops_true(self):
+        assert build.land(Var("p"), True) == Var("p")
+
+    def test_or_annihilates_on_true(self):
+        assert build.lor(Var("p"), True) == Literal(True)
+
+    def test_or_drops_false(self):
+        assert build.lor(Var("p"), False) == Var("p")
+
+
+class TestMinus:
+    def test_minus_zero(self):
+        assert build.minus(Var("x"), 0) == Var("x")
+
+    def test_minus_folds(self):
+        assert build.minus(7, 3) == Literal(4)
+
+
+class TestCoalesce:
+    def test_drops_literal_missing(self):
+        out = build.coalesce(Literal(MISSING), Var("x"))
+        assert out == Var("x")
+
+    def test_all_missing(self):
+        assert build.coalesce(Literal(MISSING)) == Literal(MISSING)
+
+    def test_literal_short_circuits(self):
+        out = build.coalesce(Literal(3), Var("x"))
+        assert out == Literal(3)
+
+    def test_keeps_runtime_order(self):
+        out = build.coalesce(Var("a"), Var("b"))
+        assert out == Call(ops.COALESCE, [Var("a"), Var("b")])
+
+
+class TestCall:
+    def test_folds_all_literal(self):
+        assert build.call(ops.EQ, 3, 3) == Literal(True)
+
+    def test_missing_propagates_through_mul(self):
+        assert build.call(ops.MUL, Literal(MISSING), 5) == Literal(MISSING)

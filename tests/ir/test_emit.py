@@ -1,0 +1,104 @@
+"""Unit tests for expression printing and statement emission."""
+
+from repro.ir import Call, Literal, Load, Var, asm, build, emit, ops
+from repro.ir.pretty import expr_source
+from repro.ir.runtime import kernel_globals
+
+
+class TestExprSource:
+    def test_literal(self):
+        assert expr_source(Literal(3)) == "3"
+        assert expr_source(Literal(2.5)) == "2.5"
+        assert expr_source(Literal(ops.MISSING)) == "None"
+
+    def test_infix_chain(self):
+        expr = Call(ops.ADD, [Var("a"), Var("b"), Var("c")])
+        assert expr_source(expr) == "a + b + c"
+
+    def test_precedence_parentheses(self):
+        expr = Call(ops.MUL, [Call(ops.ADD, [Var("a"), Var("b")]), Var("c")])
+        assert expr_source(expr) == "(a + b) * c"
+
+    def test_no_redundant_parentheses(self):
+        expr = Call(ops.ADD, [Call(ops.MUL, [Var("a"), Var("b")]), Var("c")])
+        assert expr_source(expr) == "a * b + c"
+
+    def test_function_call_rendering(self):
+        expr = Call(ops.MIN, [Var("a"), Var("b")])
+        assert expr_source(expr) == "min(a, b)"
+
+    def test_load(self):
+        expr = Load("A_val", build.plus(Var("p"), 1))
+        assert expr_source(expr) == "A_val[1 + p]"
+
+    def test_unary_neg(self):
+        assert expr_source(Call(ops.NEG, [Var("x")])) == "-x"
+
+    def test_comparison(self):
+        expr = Call(ops.LE, [Var("i"), Var("n")])
+        assert expr_source(expr) == "i <= n"
+
+
+class TestEmit:
+    def test_assign(self):
+        source = emit(asm.AssignStmt(Var("x"), Literal(1)))
+        assert source == "x = 1\n"
+
+    def test_accum_add(self):
+        source = emit(asm.AccumStmt(Var("acc"), ops.ADD, Var("v")))
+        assert source == "acc += v\n"
+
+    def test_accum_min_uses_function(self):
+        source = emit(asm.AccumStmt(Var("acc"), ops.MIN, Var("v")))
+        assert source == "acc = min(acc, v)\n"
+
+    def test_for_loop(self):
+        loop = asm.ForLoop("i", 0, Var("n"),
+                           asm.AccumStmt(Var("acc"), ops.ADD, Var("i")))
+        source = emit(loop)
+        assert source == "for i in range(0, n):\n    acc += i\n"
+
+    def test_empty_loop_body_gets_pass(self):
+        loop = asm.ForLoop("i", 0, 3, asm.Block([]))
+        assert "pass" in emit(loop)
+
+    def test_if_elif_else(self):
+        branch = asm.If([
+            (Var("a"), asm.AssignStmt(Var("x"), 1)),
+            (Var("b"), asm.AssignStmt(Var("x"), 2)),
+            (None, asm.AssignStmt(Var("x"), 3)),
+        ])
+        source = emit(branch)
+        assert source.splitlines() == [
+            "if a:",
+            "    x = 1",
+            "elif b:",
+            "    x = 2",
+            "else:",
+            "    x = 3",
+        ]
+
+    def test_nested_blocks_flatten(self):
+        inner = asm.Block([asm.AssignStmt(Var("x"), 1)])
+        outer = asm.Block([inner, asm.AssignStmt(Var("y"), 2)])
+        assert len(outer.stmts) == 2
+
+    def test_emitted_function_executes(self):
+        body = asm.Block([
+            asm.AssignStmt(Var("acc"), Literal(0)),
+            asm.ForLoop("i", 0, Var("n"),
+                        asm.AccumStmt(Var("acc"), ops.ADD, Var("i"))),
+        ])
+        func = asm.FuncDef("kernel", ["n"], body, returns=["acc"])
+        namespace = kernel_globals()
+        exec(emit(func), namespace)
+        assert namespace["kernel"](5) == 10
+
+    def test_while_loop(self):
+        loop = asm.WhileLoop(Call(ops.LT, [Var("i"), Var("n")]),
+                             asm.AccumStmt(Var("i"), ops.ADD, Literal(1)))
+        source = emit(loop)
+        assert source.splitlines()[0] == "while i < n:"
+
+    def test_comment(self):
+        assert emit(asm.Comment("hello")) == "# hello\n"

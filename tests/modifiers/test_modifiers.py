@@ -1,0 +1,108 @@
+"""Tests for the mask protocol and custom looplet formats."""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.formats.custom import LoopletTensor
+from repro.ir import Literal, Var, build
+from repro.looplets import Lookup, Phase, Pipeline, Run
+from repro.modifiers import one_hot
+from repro.util.errors import FormatError
+
+
+class TestOneHotMask:
+    def test_scatter_becomes_sequential(self):
+        """@∀ i A[i] = B[f(i)] via a sieve over the mask protocol."""
+        src = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
+        B = fl.from_numpy(src, ("dense",), name="B")
+        A = fl.zeros(5, name="A")
+        i, j = fl.indices("i", "j")
+        # f(i) = (2 * i) % 5 — a permutation read.
+        f_i = fl.call(fl.ops.MOD, 2 * i, 5)
+        mask = one_hot(5, f_i, name="mask")
+        prog = fl.forall(i, fl.forall(j, fl.sieve(
+            mask[j], fl.store(A[i], B[j]))))
+        kernel = fl.compile_kernel(prog, instrument=True)
+        ops_count = kernel.run()
+        expected = np.array([src[(2 * k) % 5] for k in range(5)])
+        np.testing.assert_allclose(A.to_numpy(), expected)
+        # One guarded store per i — the inner loop never materializes.
+        assert ops_count == 5
+
+    def test_mask_counts_one_position(self):
+        mask = one_hot(10, Literal(4), name="m")
+        C = fl.Scalar(name="C")
+        j = fl.indices("j")
+        prog = fl.forall(j, fl.increment(C[()], fl.call(
+            fl.ops.IFELSE, mask[j], 1.0, 0.0)))
+        fl.execute(prog)
+        assert C.value == 1.0
+
+    def test_mask_intersected_with_sparse(self):
+        vec = np.zeros(10)
+        vec[[2, 4, 7]] = [1.0, 2.0, 3.0]
+        V = fl.from_numpy(vec, ("sparse",), name="V")
+        mask = one_hot(10, Literal(4), name="m")
+        C = fl.Scalar(name="C")
+        j = fl.indices("j")
+        # Multiplying by a boolean mask: False annihilates (0 * x).
+        prog = fl.forall(j, fl.increment(C[()], mask[j] * V[j]))
+        fl.execute(prog)
+        assert C.value == 2.0
+
+
+class TestLoopletTensor:
+    def test_function_defined_array(self):
+        """The paper's f(i) = i^2 virtual array."""
+        A = LoopletTensor(6, lambda ctx, pos: Lookup(
+            lambda j: build.times(j, j)), name="A")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        fl.execute(fl.forall(i, fl.increment(C[()], A[i])))
+        assert C.value == sum(k * k for k in range(6))
+
+    def test_composes_with_stored_formats(self):
+        vec = np.zeros(6)
+        vec[[1, 4]] = [2.0, 3.0]
+        V = fl.from_numpy(vec, ("sparse",), name="V")
+        A = LoopletTensor(6, lambda ctx, pos: Lookup(
+            lambda j: build.plus(j, 1)), name="A")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        fl.execute(fl.forall(i, fl.increment(C[()], A[i] * V[i])))
+        assert C.value == 2.0 * 2 + 5.0 * 3
+
+    def test_structured_virtual_tensor_skips_work(self):
+        half = LoopletTensor(100, lambda ctx, pos: Pipeline([
+            Phase(Run(Literal(0.0)), stride=Literal(50)),
+            Phase(Run(Literal(1.0))),
+        ]), name="half")
+        dense = fl.from_numpy(np.ones(100), ("dense",), name="D")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        kernel = fl.compile_kernel(
+            fl.forall(i, fl.increment(C[()], half[i] * dense[i])),
+            instrument=True)
+        ops_count = kernel.run()
+        assert C.value == 50.0
+        # The zero phase vanishes; the one phase run-sums per element?
+        # No — dense is a lookup, so 50 adds remain, but never 100.
+        assert ops_count <= 51
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            LoopletTensor(-1, lambda ctx, pos: Run(Literal(0.0)))
+        with pytest.raises(FormatError):
+            LoopletTensor(5, 42)
+        tensor = LoopletTensor(5, lambda ctx, pos: Run(Literal(0.0)))
+        with pytest.raises(FormatError):
+            tensor[fl.indices("i"), fl.indices("j")]
+
+    def test_extent_inferred_from_shape(self):
+        A = LoopletTensor(7, lambda ctx, pos: Run(Literal(2.0)),
+                          name="A")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        fl.execute(fl.forall(i, fl.increment(C[()], A[i])))
+        assert C.value == 14.0

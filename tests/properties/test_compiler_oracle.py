@@ -1,0 +1,161 @@
+"""Property-based tests: compiled kernels == reference interpreter.
+
+Hypothesis drives random vector structures, formats, protocols, and
+modifier parameters through the full compiler and cross-checks every
+result against the naive CIN interpreter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.lang as fl
+from repro.baselines.reference import interpret
+
+FORMATS = ["dense", "sparse", "band", "vbl", "rle", "bitmap", "ragged",
+           "packbits"]
+
+
+@st.composite
+def structured_vector(draw, max_len=24):
+    """A float vector with one of several structural shapes."""
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    shape = draw(st.sampled_from(["scatter", "band", "runs", "empty",
+                                  "dense"]))
+    values = draw(st.lists(
+        st.floats(min_value=-4, max_value=4, allow_nan=False,
+                  width=32).map(lambda v: round(v, 2)),
+        min_size=n, max_size=n))
+    vec = np.array(values)
+    if shape == "scatter":
+        keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        vec[~np.array(keep)] = 0.0
+    elif shape == "band":
+        lo = draw(st.integers(0, n - 1))
+        hi = draw(st.integers(lo, n))
+        mask = np.zeros(n, dtype=bool)
+        mask[lo:hi] = True
+        vec[~mask] = 0.0
+    elif shape == "runs":
+        pool = draw(st.lists(st.integers(0, 3), min_size=1, max_size=3))
+        picks = draw(st.lists(st.sampled_from(pool), min_size=n,
+                              max_size=n))
+        vec = np.array(picks, dtype=float)
+        vec = np.sort(vec)  # longer runs
+    elif shape == "empty":
+        vec = np.zeros(n)
+    return vec
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=structured_vector(), b=structured_vector(),
+       fmt_a=st.sampled_from(FORMATS), fmt_b=st.sampled_from(FORMATS))
+def test_dot_product_matches_interpreter(a, b, fmt_a, fmt_b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    A = fl.from_numpy(a, (fmt_a,), name="A")
+    B = fl.from_numpy(b, (fmt_b,), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    prog = fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+    expected = interpret(prog).result_for(C)
+    fl.execute(prog)
+    assert C.value == pytest.approx(float(expected), abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=structured_vector(),
+       proto_a=st.sampled_from(["walk", "gallop"]),
+       proto_b=st.sampled_from(["walk", "gallop"]),
+       b=structured_vector())
+def test_protocol_choice_never_changes_results(a, b, proto_a, proto_b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    A = fl.from_numpy(a, ("sparse",), name="A")
+    B = fl.from_numpy(b, ("sparse",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    markers = {"walk": fl.walk, "gallop": fl.gallop}
+    prog = fl.forall(i, fl.increment(
+        C[()],
+        fl.access(A, markers[proto_a](i)) * fl.access(B, markers[proto_b](i))))
+    expected = interpret(prog).result_for(C)
+    fl.execute(prog)
+    assert C.value == pytest.approx(float(expected), abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec=structured_vector(), fmt=st.sampled_from(FORMATS),
+       delta=st.integers(-6, 6))
+def test_offset_permit_matches_interpreter(vec, fmt, delta):
+    n = len(vec)
+    A = fl.from_numpy(vec, (fmt,), name="A")
+    out = fl.zeros(n, name="out")
+    i = fl.indices("i")
+    prog = fl.forall(i, fl.store(out[i], fl.coalesce(
+        fl.access(A, fl.permit(fl.offset(i, delta))), 0.0)))
+    expected = interpret(prog).result_for(out)
+    fl.execute(prog)
+    np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec=structured_vector(max_len=20), fmt=st.sampled_from(FORMATS),
+       data=st.data())
+def test_window_matches_interpreter(vec, fmt, data):
+    n = len(vec)
+    lo = data.draw(st.integers(0, n - 1))
+    hi = data.draw(st.integers(lo, n))
+    A = fl.from_numpy(vec, (fmt,), name="A")
+    S = fl.Scalar(name="S")
+    i = fl.indices("i")
+    prog = fl.forall(i, fl.increment(S[()], fl.access(
+        A, fl.window(i, lo, hi))), ext=(0, hi - lo))
+    expected = interpret(prog).result_for(S)
+    fl.execute(prog)
+    assert S.value == pytest.approx(float(expected), abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(1, 6), cols=st.integers(1, 10),
+       fmt=st.sampled_from(["sparse", "vbl", "rle", "band", "dense"]),
+       data=st.data())
+def test_spmv_matches_interpreter(rows, cols, fmt, data):
+    density = data.draw(st.floats(0.0, 1.0))
+    seed = data.draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    mat = rng.random((rows, cols))
+    mat[rng.random((rows, cols)) > density] = 0.0
+    vec = rng.random(cols)
+    vec[rng.random(cols) > 0.5] = 0.0
+    A = fl.from_numpy(mat, ("dense", fmt), name="A")
+    x = fl.from_numpy(vec, ("sparse",), name="x")
+    y = fl.zeros(rows, name="y")
+    i, j = fl.indices("i", "j")
+    prog = fl.forall(i, fl.forall(j, fl.increment(y[i], A[i, j] * x[j])))
+    expected = interpret(prog).result_for(y)
+    fl.execute(prog)
+    np.testing.assert_allclose(y.to_numpy(), expected, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(vec=structured_vector(max_len=16),
+       fmt=st.sampled_from(FORMATS),
+       op_name=st.sampled_from(["max", "min", "add"]))
+def test_reductions_match_interpreter(vec, fmt, op_name):
+    A = fl.from_numpy(vec, (fmt,), name="A")
+    S = fl.Scalar(name="S")
+    i = fl.indices("i")
+    prog = fl.forall(i, fl.reduce_into(S[()], fl.ops.get_op(op_name),
+                                       A[i]))
+    expected = interpret(prog).result_for(S)
+    fl.execute(prog)
+    assert S.value == pytest.approx(float(expected), abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(vec=structured_vector(max_len=18), fmt=st.sampled_from(FORMATS))
+def test_roundtrip_through_any_format(vec, fmt):
+    tensor = fl.from_numpy(vec, (fmt,), name="T")
+    np.testing.assert_array_equal(tensor.to_numpy(), vec)

@@ -1,0 +1,192 @@
+"""Unit tests for run-length output assembly."""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.tensors.output import RunBuilder, RunOutput
+from repro.util.errors import FormatError, ReproError
+
+
+class TestRunBuilder:
+    def test_merges_adjacent_equal_runs(self):
+        builder = RunBuilder(10, fill=0.0)
+        builder.append_run(0, 3, 5.0)
+        builder.append_run(3, 6, 5.0)
+        builder.close()
+        assert builder.ends == [6, 10]
+        assert builder.values == [5.0, 0.0]
+
+    def test_gaps_filled_with_fill(self):
+        builder = RunBuilder(10, fill=0.0)
+        builder.append_run(4, 6, 2.0)
+        builder.close()
+        assert builder.ends == [4, 6, 10]
+        assert builder.values == [0.0, 2.0, 0.0]
+
+    def test_out_of_order_append_rejected(self):
+        builder = RunBuilder(10, fill=0.0)
+        builder.append_run(5, 7, 1.0)
+        with pytest.raises(ReproError):
+            builder.append_run(2, 4, 1.0)
+
+    def test_empty_append_ignored(self):
+        builder = RunBuilder(10, fill=0.0)
+        builder.append_run(3, 3, 9.0)
+        builder.close()
+        assert builder.values == [0.0]
+
+    def test_reset(self):
+        builder = RunBuilder(4, fill=0.0)
+        builder.append_run(0, 4, 1.0)
+        builder.reset()
+        builder.close()
+        assert builder.values == [0.0]
+
+
+class TestRunOutput:
+    def test_roundtrip_dense_values(self):
+        out = RunOutput((2, 6), fill=0.0)
+        for row in range(2):
+            out.builder.append_run(row * 6, row * 6 + 6, float(row + 1))
+        dense = out.to_numpy()
+        np.testing.assert_array_equal(dense,
+                                      [[1.0] * 6, [2.0] * 6])
+
+    def test_run_crossing_row_boundary_splits(self):
+        out = RunOutput((2, 4), fill=0.0)
+        out.builder.append_run(2, 6, 7.0)  # covers end of row 0, start of 1
+        dense = out.to_numpy()
+        np.testing.assert_array_equal(dense, [[0, 0, 7, 7], [7, 7, 0, 0]])
+
+    def test_needs_at_least_one_mode(self):
+        with pytest.raises(FormatError):
+            RunOutput((), fill=0.0)
+
+    def test_index_count_checked(self):
+        out = RunOutput((2, 4))
+        with pytest.raises(FormatError):
+            out[fl.indices("i")]
+
+    def test_run_count(self):
+        out = RunOutput((1, 8), fill=0.0)
+        out.builder.append_run(0, 4, 3.0)
+        out.builder.append_run(4, 8, 3.0)
+        assert out.run_count() == 1  # merged
+
+
+class TestCompiledRunOutputs:
+    def test_copy_through_rle(self):
+        src = np.repeat([1.0, 0.0, 4.0], 5)
+        A = fl.from_numpy(src, ("rle",), name="A")
+        out = RunOutput((15,), fill=0.0, name="out")
+        i = fl.indices("i")
+        kernel = fl.compile_kernel(
+            fl.forall(i, fl.store(out[i], A[i])), instrument=True)
+        ops = kernel.run()
+        np.testing.assert_array_equal(out.to_numpy(), src)
+        assert ops <= 8  # O(runs), not O(elements)
+
+    def test_rerun_resets_builder(self):
+        src = np.repeat([2.0, 3.0], 4)
+        A = fl.from_numpy(src, ("rle",), name="A")
+        out = RunOutput((8,), fill=0.0, name="out")
+        i = fl.indices("i")
+        kernel = fl.compile_kernel(fl.forall(i, fl.store(out[i], A[i])))
+        kernel.run()
+        kernel.run()
+        np.testing.assert_array_equal(out.to_numpy(), src)
+
+    def test_pointwise_positions_fall_back_to_point_appends(self):
+        src = np.array([5.0, 6.0, 7.0])
+        A = fl.from_numpy(src, ("dense",), name="A")
+        out = RunOutput((3,), fill=0.0, name="out")
+        i = fl.indices("i")
+        fl.execute(fl.forall(i, fl.store(out[i], A[i] * 2.0)))
+        np.testing.assert_array_equal(out.to_numpy(), src * 2)
+
+    def test_reduction_into_run_output_rejected(self):
+        from repro.util.errors import LoweringError
+
+        src = np.ones(4)
+        A = fl.from_numpy(src, ("dense",), name="A")
+        out = RunOutput((4,), fill=0.0, name="out")
+        i = fl.indices("i")
+        with pytest.raises(LoweringError):
+            fl.execute(fl.forall(i, fl.increment(out[i], A[i])))
+
+    def test_uint8_blend_matches_dense(self):
+        img_b = np.repeat(np.array([10, 250], dtype=np.uint8), 6)
+        img_c = np.repeat(np.array([30, 40], dtype=np.uint8), 6)
+        B = fl.from_numpy(img_b.reshape(1, -1), ("dense", "rle"),
+                          name="B", fill=0)
+        C = fl.from_numpy(img_c.reshape(1, -1), ("dense", "rle"),
+                          name="C", fill=0)
+        out = RunOutput((1, 12), fill=0, dtype=np.uint8, name="out")
+        i, j = fl.indices("i", "j")
+        fl.execute(fl.forall(i, fl.forall(j, fl.store(
+            out[i, j], fl.call(fl.ops.ROUND_U8,
+                               0.5 * B[i, j] + 0.5 * C[i, j])))))
+        expected = np.clip(np.round(0.5 * img_b.astype(float)
+                                    + 0.5 * img_c.astype(float)),
+                           0, 255).astype(np.uint8)
+        np.testing.assert_array_equal(out.to_numpy()[0], expected)
+
+
+class TestSparseOutput:
+    def test_pointwise_product_assembles_intersection(self):
+        from repro.tensors.output import SparseOutput
+
+        rng = np.random.default_rng(1)
+        a = rng.random(25); a[a < 0.6] = 0
+        b = rng.random(25); b[b < 0.6] = 0
+        A = fl.from_numpy(a, ("sparse",), name="A")
+        B = fl.from_numpy(b, ("sparse",), name="B")
+        out = SparseOutput((25,), name="out")
+        i = fl.indices("i")
+        fl.execute(fl.forall(i, fl.store(out[i], A[i] * B[i])))
+        np.testing.assert_allclose(out.to_numpy(), a * b)
+        assert out.nnz() == np.count_nonzero(a * b)
+
+    def test_runtime_zero_results_are_skipped(self):
+        from repro.tensors.output import SparseOutput
+
+        vec = np.array([1.0, -1.0, 2.0])
+        A = fl.from_numpy(vec, ("dense",), name="A")
+        out = SparseOutput((3,), name="out")
+        i = fl.indices("i")
+        # A[i] + A[i] * -1 ... use (A[i] - 1) so index 0 lands on fill.
+        fl.execute(fl.forall(i, fl.store(out[i], A[i] - 1.0)))
+        np.testing.assert_allclose(out.to_numpy(), vec - 1.0)
+        assert out.nnz() == 2  # the exact zero is elided
+
+    def test_matrix_rows(self):
+        from repro.tensors.output import SparseOutput
+
+        mat = np.zeros((3, 6))
+        mat[0, 2] = 4.0
+        mat[2, 5] = 5.0
+        M = fl.from_numpy(mat, ("dense", "sparse"), name="M")
+        out = SparseOutput((3, 6), name="out")
+        i, j = fl.indices("i", "j")
+        fl.execute(fl.forall(i, fl.forall(j, fl.store(
+            out[i, j], M[i, j]))))
+        np.testing.assert_allclose(out.to_numpy(), mat)
+
+    def test_out_of_order_append_rejected(self):
+        from repro.tensors.output import SparseBuilder
+
+        builder = SparseBuilder(10, 0.0)
+        builder.append(5, 1.0)
+        with pytest.raises(ReproError):
+            builder.append(5, 2.0)
+
+    def test_reduction_rejected(self):
+        from repro.tensors.output import SparseOutput
+        from repro.util.errors import LoweringError
+
+        A = fl.from_numpy(np.ones(4), ("dense",), name="A")
+        out = SparseOutput((4,), name="out")
+        i = fl.indices("i")
+        with pytest.raises(LoweringError):
+            fl.execute(fl.forall(i, fl.increment(out[i], A[i])))

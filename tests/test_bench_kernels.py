@@ -1,0 +1,78 @@
+"""Correctness tests for the benchmark kernel builders.
+
+The benchmark suite asserts these too, but a fast unit-level check
+keeps `pytest tests/` self-contained.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dense_ref
+from repro.bench import kernels
+from repro.workloads import graphs, images, matrices
+
+
+class TestSpMSpVBuilders:
+    @pytest.mark.parametrize("strategy", kernels.SPMSPV_STRATEGIES)
+    def test_all_strategies_agree(self, strategy):
+        mat = matrices.clustered_matrix(20, 20, 2, 5, seed=1)
+        vec = matrices.sparse_vector(20, count=4, seed=2)
+        kernel, y = kernels.spmspv(mat, vec, strategy)
+        kernel.run()
+        np.testing.assert_allclose(y.to_numpy(), mat @ vec)
+
+    def test_unknown_strategy(self):
+        mat = np.zeros((3, 3))
+        vec = np.zeros(3)
+        with pytest.raises(KeyError):
+            kernels.spmspv(mat, vec, "zigzag")
+
+
+class TestTriangleBuilder:
+    @pytest.mark.parametrize("protocol", ["walk", "gallop"])
+    def test_counts(self, protocol):
+        adj = graphs.erdos_renyi_adjacency(18, 0.3, seed=3)
+        kernel, C = kernels.triangle_count(adj, protocol)
+        kernel.run()
+        assert C.value == graphs.triangle_count_reference(adj)
+
+
+class TestConvolutionBuilders:
+    def test_masked_matches_reference(self):
+        grid = matrices.random_sparse_matrix(12, 12, 0.1, seed=4)
+        filt = np.ones((3, 3)) / 9.0
+        kernel, C = kernels.masked_convolution(grid, filt)
+        kernel.run()
+        np.testing.assert_allclose(
+            C.to_numpy(), dense_ref.masked_convolve2d_numpy(grid, filt),
+            atol=1e-12)
+
+    def test_dense_matches_reference(self):
+        grid = matrices.random_sparse_matrix(10, 10, 0.2, seed=5)
+        filt = np.ones((3, 3)) / 9.0
+        kernel, C = kernels.dense_convolution(grid, filt)
+        kernel.run()
+        np.testing.assert_allclose(
+            C.to_numpy(), dense_ref.convolve2d_numpy(grid, filt),
+            atol=1e-12)
+
+
+class TestImageBuilders:
+    @pytest.mark.parametrize("fmt", ["dense", "sparse", "rle"])
+    def test_alpha_blend(self, fmt):
+        img_b = images.digit_like(16, seed=6)
+        img_c = images.digit_like(16, seed=7)
+        kernel, out = kernels.alpha_blend(img_b, img_c, 0.3, 0.7, fmt)
+        kernel.run()
+        np.testing.assert_array_equal(
+            out.to_numpy(),
+            dense_ref.alpha_blend_numpy(img_b, img_c, 0.3, 0.7))
+
+    @pytest.mark.parametrize("fmt", ["dense", "sparse", "vbl", "rle"])
+    def test_all_pairs(self, fmt):
+        data = images.linearized_batch("digit", 3, size=12, seed=8)
+        kernel, O = kernels.all_pairs_similarity(data, fmt)
+        kernel.run()
+        np.testing.assert_allclose(O.to_numpy(),
+                                   dense_ref.all_pairs_numpy(data),
+                                   atol=1e-9)

@@ -1,0 +1,34 @@
+"""Every example script must run cleanly (they assert internally)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "examples")
+_EXAMPLES = sorted(name for name in os.listdir(_EXAMPLES_DIR)
+                   if name.endswith(".py"))
+
+
+def test_examples_are_present():
+    assert len(_EXAMPLES) >= 3  # the deliverable floor
+    assert "quickstart.py" in _EXAMPLES
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate their output"
+
+
+def test_module_demo_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Emitted kernel" in result.stdout

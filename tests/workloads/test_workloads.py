@@ -1,0 +1,119 @@
+"""Unit tests for the workload generators (dataset substitutes)."""
+
+import numpy as np
+
+from repro.workloads import graphs, images, matrices
+
+
+class TestMatrices:
+    def test_banded_structure(self):
+        mat = matrices.banded_matrix(20, 2, seed=0)
+        rows, cols = np.nonzero(mat)
+        assert np.all(np.abs(rows - cols) <= 2)
+        assert np.all(mat[np.arange(20), np.arange(20)] != 0)
+
+    def test_clustered_rows_have_contiguous_blocks(self):
+        mat = matrices.clustered_matrix(10, 40, 2, 6, seed=1)
+        for row in mat:
+            support = np.nonzero(row)[0]
+            if len(support) == 0:
+                continue
+            breaks = np.sum(np.diff(support) > 1)
+            assert breaks <= 4  # at most clusters_per_row blocks (merged)
+
+    def test_block_matrix_alignment(self):
+        mat = matrices.block_matrix(24, 6, 0.5, seed=2)
+        blocks = mat.reshape(4, 6, 4, 6).transpose(0, 2, 1, 3)
+        for bi in range(4):
+            for bj in range(4):
+                tile = blocks[bi, bj]
+                assert np.all(tile == 0) or np.all(tile != 0)
+
+    def test_sparse_vector_count(self):
+        vec = matrices.sparse_vector(50, count=7, seed=3)
+        assert np.count_nonzero(vec) == 7
+
+    def test_sparse_vector_density(self):
+        vec = matrices.sparse_vector(2000, density=0.25, seed=4)
+        assert 0.2 < np.count_nonzero(vec) / 2000 < 0.3
+
+    def test_sparse_vector_requires_a_regime(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            matrices.sparse_vector(10)
+
+    def test_suite_is_reproducible(self):
+        first = matrices.harwell_boeing_like_suite(60, seed=5)
+        second = matrices.harwell_boeing_like_suite(60, seed=5)
+        for name in first:
+            np.testing.assert_array_equal(first[name], second[name])
+
+    def test_arrow_matrix_shape(self):
+        mat = matrices.arrow_matrix(30, 3, seed=6)
+        assert np.all(mat[:3, :] != 0)
+        assert np.all(mat[:, :3] != 0)
+        assert np.all(np.diag(mat) != 0)
+
+
+class TestGraphs:
+    def test_adjacency_is_symmetric_boolean(self):
+        adj = graphs.power_law_adjacency(60, 2.2, 2, seed=0)
+        np.testing.assert_array_equal(adj, adj.T)
+        assert set(np.unique(adj)) <= {0.0, 1.0}
+        assert np.all(np.diag(adj) == 0)
+
+    def test_power_law_has_skewed_degrees(self):
+        adj = graphs.power_law_adjacency(200, 2.0, 2, seed=1)
+        degrees = adj.sum(axis=1)
+        assert degrees.max() > 4 * np.median(degrees[degrees > 0])
+
+    def test_hub_adjacency(self):
+        adj = graphs.hub_adjacency(40, hubs=2, p=0.01, seed=2)
+        degrees = adj.sum(axis=1)
+        assert degrees[0] == 39
+        assert degrees[1] == 39
+
+    def test_csr_roundtrip(self):
+        adj = graphs.erdos_renyi_adjacency(25, 0.2, seed=3)
+        pos, idx = graphs.adjacency_to_csr(adj)
+        rebuilt = np.zeros_like(adj)
+        for i in range(25):
+            rebuilt[i, idx[pos[i]:pos[i + 1]]] = 1.0
+        np.testing.assert_array_equal(rebuilt, adj)
+
+    def test_triangle_reference_on_known_graph(self):
+        adj = np.zeros((4, 4))
+        for a, b in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            adj[a, b] = adj[b, a] = 1.0
+        # one triangle -> trace(A^3) = 6
+        assert graphs.triangle_count_reference(adj) == 6.0
+
+
+class TestImages:
+    def test_digit_background_dominates(self):
+        img = images.digit_like(28, seed=0)
+        assert (img == 0).mean() > 0.5
+        assert img.dtype == np.uint8
+
+    def test_character_background_is_nonzero_constant(self):
+        img = images.character_like(32, seed=1)
+        values, counts = np.unique(img, return_counts=True)
+        assert values[np.argmax(counts)] == 8  # paper-tone background
+
+    def test_sketch_is_sparse(self):
+        img = images.sketch_like(64, seed=2)
+        assert (img == 0).mean() > 0.6
+
+    def test_batches_are_stacked(self):
+        batch = images.image_batch("digit", 3, seed=3)
+        assert batch.shape == (3, 28, 28)
+        linear = images.linearized_batch("digit", 3, seed=3)
+        assert linear.shape == (3, 28 * 28)
+        np.testing.assert_array_equal(linear[0], batch[0].ravel())
+
+    def test_run_fraction_measure(self):
+        flat_runs = np.zeros((4, 4), dtype=np.uint8)
+        assert images.background_run_fraction(flat_runs) == 1.0
+        noisy = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        assert images.background_run_fraction(noisy) == 0.0
