@@ -11,8 +11,8 @@ import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
-from repro.bench.harness import Table
-from repro.bench.kernels import alpha_blend
+from repro.bench.harness import Table, amortization_table, assert_amortized
+from repro.bench.kernels import alpha_blend, alpha_blend_program
 from repro.workloads import images
 
 ALPHA, BETA = 0.4, 0.6
@@ -75,3 +75,16 @@ def test_report_fig10(benchmark, write_report):
     img_b, img_c = image_pair("digit", seed=1)
     kernel, _ = alpha_blend(img_b, img_c, ALPHA, BETA, "rle")
     benchmark(kernel.run)
+
+
+def test_report_fig10_amortization(write_report):
+    """Compile-once/run-many: one RLE blend artifact serves every
+    image pair of the same size via rebinding."""
+    seeds = iter(range(1, 100))
+    table = amortization_table(
+        "Figure 10 amortization: RLE alpha blend, fresh images per run",
+        lambda: alpha_blend_program(*image_pair("digit",
+                                                seed=next(seeds)),
+                                    ALPHA, BETA, "rle")[0])
+    write_report("fig10_alpha_amortization", [table])
+    assert_amortized(table)

@@ -11,8 +11,8 @@ import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
-from repro.bench.harness import Table
-from repro.bench.kernels import all_pairs_similarity
+from repro.bench.harness import Table, amortization_table, assert_amortized
+from repro.bench.kernels import all_pairs_similarity, all_pairs_similarity_program
 from repro.workloads import images
 
 FORMATS = ("dense", "sparse", "vbl", "rle")
@@ -65,3 +65,14 @@ def test_report_fig11(benchmark, write_report):
     data = batch("digit", 20)
     kernel, _ = all_pairs_similarity(data, "vbl")
     benchmark(kernel.run)
+
+
+def test_report_fig11_amortization(write_report):
+    """Compile-once/run-many: the two-statement all-pairs program
+    compiles once per format and rebinds over fresh batches."""
+    table = amortization_table(
+        "Figure 11 amortization: all-pairs (vbl), fresh batch per run",
+        lambda: all_pairs_similarity_program(batch("digit", 20),
+                                             "vbl")[0])
+    write_report("fig11_allpairs_amortization", [table])
+    assert_amortized(table)

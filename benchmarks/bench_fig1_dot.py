@@ -11,7 +11,7 @@ import pytest
 
 import repro.lang as fl
 from repro.baselines import twofinger
-from repro.bench.harness import Table
+from repro.bench.harness import Table, amortization_table, assert_amortized
 
 N = 4000
 BAND = (1700, 1780)
@@ -28,12 +28,16 @@ def make_inputs(seed=0):
     return a, b
 
 
-def looplet_kernel(a, b, instrument=False):
+def looplet_program(a, b):
     A = fl.from_numpy(a, ("sparse",), name="A")
     B = fl.from_numpy(b, ("band",), name="B")
     C = fl.Scalar(name="C")
     i = fl.indices("i")
-    prog = fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i])), C
+
+
+def looplet_kernel(a, b, instrument=False):
+    prog, C = looplet_program(a, b)
     return fl.compile_kernel(prog, instrument=instrument), C
 
 
@@ -75,3 +79,14 @@ def test_report_fig1(benchmark, inputs, write_report):
     # The looplet kernel's work tracks the band overlap, not total nnz.
     assert looplet_ops < merge_steps
     benchmark(kernel.run)
+
+
+def test_report_fig1_amortization(write_report):
+    """Compile once, rebind many: later compiles of the same structure
+    over fresh data are kernel-cache hits that skip lowering."""
+    seeds = iter(range(100))
+    table = amortization_table(
+        "Figure 1 amortization: list x band dot, fresh data per run",
+        lambda: looplet_program(*make_inputs(seed=next(seeds)))[0])
+    write_report("fig1_dot_amortization", [table])
+    assert_amortized(table)

@@ -12,8 +12,8 @@ import numpy as np
 import pytest
 
 from repro.baselines import twofinger
-from repro.bench.harness import Table, summarize
-from repro.bench.kernels import SPMSPV_STRATEGIES, spmspv
+from repro.bench.harness import Table, amortization_table, assert_amortized, summarize
+from repro.bench.kernels import SPMSPV_STRATEGIES, spmspv, spmspv_program
 from repro.workloads import matrices
 
 N = 250
@@ -82,3 +82,16 @@ def test_report_fig7(benchmark, suite, regime, write_report):
         assert best_skip > max(speedups["walk_walk"])
     kernel, _ = spmspv(suite["pores_like_clustered"], vec, "walk_walk")
     benchmark(kernel.run)
+
+
+def test_report_fig7_amortization(suite, write_report):
+    """Compile-once/run-many: the SpMSpV structure compiles on the
+    first matrix and rebinds (cache hit) for every other matrix of the
+    same shape/format in the suite."""
+    mats = iter(list(suite.values()) * 2)
+    vec = make_x("count10", seed=7)
+    table = amortization_table(
+        "Figure 7 amortization: SpMSpV, fresh matrix per run",
+        lambda: spmspv_program(next(mats), vec, "walk_walk")[0])
+    write_report("fig7_spmspv_amortization", [table])
+    assert_amortized(table)

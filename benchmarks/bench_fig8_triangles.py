@@ -8,8 +8,8 @@ merge-based intersection on skewed degree distributions.
 import pytest
 
 from repro.baselines import twofinger
-from repro.bench.harness import Table
-from repro.bench.kernels import triangle_count
+from repro.bench.harness import Table, amortization_table, assert_amortized
+from repro.bench.kernels import triangle_count, triangle_count_program
 from repro.workloads import graphs
 
 
@@ -60,3 +60,15 @@ def test_report_fig8(benchmark, suite, write_report):
     assert max(gallop_wins) > 1.0
     kernel, _ = triangle_count(suite["p2p_like_sparse"], "gallop")
     benchmark(kernel.run)
+
+
+def test_report_fig8_amortization(suite, write_report):
+    """Compile-once/run-many: one triangle-counting artifact serves
+    every same-sized graph in the suite via rebinding."""
+    adj = suite["ca_like_powerlaw"]
+    table = amortization_table(
+        "Figure 8 amortization: gallop triangle count, fresh tensors "
+        "per run",
+        lambda: triangle_count_program(adj, "gallop")[0])
+    write_report("fig8_triangles_amortization", [table])
+    assert_amortized(table)

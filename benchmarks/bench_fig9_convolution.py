@@ -10,8 +10,8 @@ import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
-from repro.bench.harness import Table
-from repro.bench.kernels import dense_convolution, masked_convolution
+from repro.bench.harness import Table, amortization_table, assert_amortized
+from repro.bench.kernels import dense_convolution, masked_convolution, masked_convolution_program
 from repro.workloads import matrices
 
 GRID = 36
@@ -68,3 +68,15 @@ def test_report_fig9(benchmark, write_report):
     assert speedup_at[0.01] > 2.0
     kernel, _ = masked_convolution(make_grid(0.01, seed=3), FILTER)
     benchmark(kernel.run)
+
+
+def test_report_fig9_amortization(write_report):
+    """Compile-once/run-many: one masked-convolution artifact serves
+    every density level (same structure, different data)."""
+    densities = iter(list(DENSITIES) * 2)
+    table = amortization_table(
+        "Figure 9 amortization: masked convolution, fresh grid per run",
+        lambda: masked_convolution_program(
+            make_grid(next(densities), seed=3), FILTER)[0])
+    write_report("fig9_convolution_amortization", [table])
+    assert_amortized(table)

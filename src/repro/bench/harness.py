@@ -10,9 +10,18 @@ The benchmarks report two measures per configuration:
 ``Table`` collects rows and renders an aligned text table, so each
 benchmark can print the figure it reproduces (captured in
 EXPERIMENTS.md).
+
+Since compilation was decoupled from data (the kernel cache),
+benchmarks also report *amortization*: :func:`timed_compile` separates
+compile time from run time and reports kernel-cache hits, and
+:func:`amortization_table` builds the standard compile-once/run-many
+table — the first run pays for lowering and emission, every later run
+of the same structure rebinds a cached artifact over fresh data.
 """
 
 import time
+
+from repro.compiler.kernel import compile_kernel, kernel_cache
 
 
 class Table:
@@ -66,6 +75,51 @@ def time_kernel(kernel, repeats=3):
         kernel.run()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def timed_compile(program, **compile_opts):
+    """Compile with wall-clock timing and cache-hit detection.
+
+    Returns ``(kernel, seconds, hit)`` where ``seconds`` covers the
+    whole ``compile_kernel`` call — key computation plus either a full
+    lower/emit/exec (miss) or an artifact rebind (hit).
+    """
+    start = time.perf_counter()
+    kernel = compile_kernel(program, **compile_opts)
+    seconds = time.perf_counter() - start
+    return kernel, seconds, kernel.from_cache
+
+
+def amortization_table(title, make_program, runs=3, repeats=3,
+                       clear_cache=True, **compile_opts):
+    """The compile-once/run-many table for one program structure.
+
+    ``make_program`` must build a structurally-identical CIN program
+    over *fresh* tensors on every call, so later runs demonstrate a
+    cached kernel rebound to new data.  Columns separate compile time
+    from run time; the cache column shows the first run missing and
+    every later run hitting.
+    """
+    if clear_cache:
+        kernel_cache().clear()
+    table = Table(title, ["run", "compile (s)", "run (s)", "cache"])
+    for position in range(runs):
+        kernel, compile_s, hit = timed_compile(make_program(),
+                                               **compile_opts)
+        run_s = time_kernel(kernel, repeats=repeats)
+        table.add("#%d" % (position + 1), compile_s, run_s,
+                  "hit" if hit else "miss")
+    return table
+
+
+def assert_amortized(table):
+    """Assert an :func:`amortization_table` shows compile-once/run-many:
+    the first run misses the kernel cache, every later run hits."""
+    cache_column = [row[-1] for row in table.rows]
+    assert cache_column, "amortization table has no rows"
+    assert cache_column[0] == "miss", cache_column
+    assert cache_column[1:] == ["hit"] * (len(cache_column) - 1), \
+        cache_column
 
 
 def speedup(baseline, measured):

@@ -1,9 +1,14 @@
 """Kernel builders shared by the benchmark harness and the examples.
 
-Each builder constructs the paper's CIN program for one experiment and
-compiles it; callers get a :class:`~repro.compiler.kernel.Kernel` plus
-the output tensor(s).  All builders accept ``instrument=True`` to
-compile the op-counting variant used for asymptotic comparisons.
+Each experiment has a *program* builder (``*_program``) constructing
+the paper's CIN program over fresh tensors, plus a compiling wrapper
+that hands callers a :class:`~repro.compiler.kernel.Kernel` and the
+output tensor(s).  The split lets the benchmarks time compilation and
+execution separately (see :func:`repro.bench.harness.amortization_table`):
+calling a program builder twice yields structurally-identical programs
+over distinct tensors, so the second compile is a kernel-cache hit.
+All wrappers accept ``instrument=True`` to compile the op-counting
+variant used for asymptotic comparisons.
 """
 
 import numpy as np
@@ -17,9 +22,8 @@ SPMSPV_STRATEGIES = ("walk_walk", "lead_A", "follow_A", "gallop_both",
                      "vbl", "vbl_gallop")
 
 
-def spmspv(mat, vec, strategy="walk_walk", instrument=False):
-    """``y[i] += A[i, j] * x[j]`` with the inner loop coiterating row
-    and vector (the paper's Figure 7 kernel)."""
+def spmspv_program(mat, vec, strategy="walk_walk"):
+    """The CIN program for ``y[i] += A[i, j] * x[j]`` (Figure 7)."""
     n_rows, n_cols = mat.shape
     fmt = ("dense", "vbl") if strategy.startswith("vbl") \
         else ("dense", "sparse")
@@ -37,16 +41,19 @@ def spmspv(mat, vec, strategy="walk_walk", instrument=False):
     }[strategy]
     prog = fl.forall(i, fl.forall(j, fl.increment(
         y[i], fl.access(A, i, proto_a(j)) * fl.access(x, proto_x(j)))))
+    return prog, y
+
+
+def spmspv(mat, vec, strategy="walk_walk", instrument=False):
+    """``y[i] += A[i, j] * x[j]`` with the inner loop coiterating row
+    and vector (the paper's Figure 7 kernel)."""
+    prog, y = spmspv_program(mat, vec, strategy)
     kernel = fl.compile_kernel(prog, instrument=instrument)
     return kernel, y
 
 
-def triangle_count(adj, protocol="walk", instrument=False):
-    """``C[] += A[i,j] * A[j,k] * AT[i,k]`` (Figure 8).
-
-    The third operand is the transpose; adjacency matrices are
-    symmetric so it shares the same dense data.
-    """
+def triangle_count_program(adj, protocol="walk"):
+    """The CIN program for ``C[] += A[i,j] * A[j,k] * AT[i,k]``."""
     A = fl.from_numpy(adj, ("dense", "sparse"), name="A")
     AT = fl.from_numpy(adj, ("dense", "sparse"), name="AT")
     C = fl.Scalar(name="C")
@@ -58,18 +65,22 @@ def triangle_count(adj, protocol="walk", instrument=False):
         C[()],
         fl.access(A, i, fl.walk(j)) * fl.access(A, j, proto(k)) *
         fl.access(AT, i, proto(k))))))
+    return prog, C
+
+
+def triangle_count(adj, protocol="walk", instrument=False):
+    """``C[] += A[i,j] * A[j,k] * AT[i,k]`` (Figure 8).
+
+    The third operand is the transpose; adjacency matrices are
+    symmetric so it shares the same dense data.
+    """
+    prog, C = triangle_count_program(adj, protocol)
     kernel = fl.compile_kernel(prog, instrument=instrument)
     return kernel, C
 
 
-def masked_convolution(grid, filt, instrument=False):
-    """Masked 2D convolution over a sparse grid (Figure 9).
-
-    ``C[i,k] += (A[i,k] != 0) * coalesce(A[...window...], 0)
-    * coalesce(F[...], 0)`` — output positions restricted to the
-    nonzeros of A, with permit/offset index modifiers forming the
-    sliding window.
-    """
+def masked_convolution_program(grid, filt):
+    """The CIN program for the masked 2D convolution (Figure 9)."""
     n, m = grid.shape
     kh, kw = filt.shape
     ch, cw = kh // 2, kw // 2
@@ -87,12 +98,24 @@ def masked_convolution(grid, filt, instrument=False):
     body = fl.increment(C[i, k], mask * padded_a * padded_f)
     prog = fl.forall(i, fl.forall(k, fl.forall(
         j, fl.forall(l, body, ext=(0, kw)), ext=(0, kh))))
+    return prog, C
+
+
+def masked_convolution(grid, filt, instrument=False):
+    """Masked 2D convolution over a sparse grid (Figure 9).
+
+    ``C[i,k] += (A[i,k] != 0) * coalesce(A[...window...], 0)
+    * coalesce(F[...], 0)`` — output positions restricted to the
+    nonzeros of A, with permit/offset index modifiers forming the
+    sliding window.
+    """
+    prog, C = masked_convolution_program(grid, filt)
     kernel = fl.compile_kernel(prog, instrument=instrument)
     return kernel, C
 
 
-def dense_convolution(grid, filt, instrument=False):
-    """The dense baseline: same program over all-dense formats."""
+def dense_convolution_program(grid, filt):
+    """The dense-baseline convolution program over all-dense formats."""
     n, m = grid.shape
     kh, kw = filt.shape
     ch, cw = kh // 2, kw // 2
@@ -107,17 +130,18 @@ def dense_convolution(grid, filt, instrument=False):
     body = fl.increment(C[i, k], padded_a * padded_f)
     prog = fl.forall(i, fl.forall(k, fl.forall(
         j, fl.forall(l, body, ext=(0, kw)), ext=(0, kh))))
+    return prog, C
+
+
+def dense_convolution(grid, filt, instrument=False):
+    """The dense baseline: same program over all-dense formats."""
+    prog, C = dense_convolution_program(grid, filt)
     kernel = fl.compile_kernel(prog, instrument=instrument)
     return kernel, C
 
 
-def alpha_blend(img_b, img_c, alpha=0.5, beta=0.5, fmt="rle",
-                instrument=False):
-    """``A[i,j] = round_u8(alpha * B[i,j] + beta * C[i,j])`` (Figure 10).
-
-    ``fmt`` selects the input row format; "rle" and "sparse" assemble
-    the output as runs (RunOutput), "dense" writes a dense image.
-    """
+def alpha_blend_program(img_b, img_c, alpha=0.5, beta=0.5, fmt="rle"):
+    """The CIN program for the Figure 10 alpha blend."""
     n, m = img_b.shape
     row_fmt = {"rle": "rle", "sparse": "sparse", "dense": "dense"}[fmt]
     B = fl.from_numpy(img_b, ("dense", row_fmt), name="B", fill=0)
@@ -129,15 +153,23 @@ def alpha_blend(img_b, img_c, alpha=0.5, beta=0.5, fmt="rle",
     i, j = fl.indices("i", "j")
     prog = fl.forall(i, fl.forall(j, fl.store(A[i, j], fl.call(
         fl.ops.ROUND_U8, alpha * B[i, j] + beta * C[i, j]))))
+    return prog, A
+
+
+def alpha_blend(img_b, img_c, alpha=0.5, beta=0.5, fmt="rle",
+                instrument=False):
+    """``A[i,j] = round_u8(alpha * B[i,j] + beta * C[i,j])`` (Figure 10).
+
+    ``fmt`` selects the input row format; "rle" and "sparse" assemble
+    the output as runs (RunOutput), "dense" writes a dense image.
+    """
+    prog, A = alpha_blend_program(img_b, img_c, alpha, beta, fmt)
     kernel = fl.compile_kernel(prog, instrument=instrument)
     return kernel, A
 
 
-def all_pairs_similarity(images, fmt="vbl", instrument=False):
-    """Pairwise Euclidean distances between linearized images
-    (Figure 11): norms first, then
-    ``O[k,l] = sqrt(R[k] + R[l] - 2*o[]) where (∀ij o[] += A[k,ij] *
-    A[l,ij])``."""
+def all_pairs_similarity_program(images, fmt="vbl"):
+    """The CIN program for Figure 11's pairwise distances."""
     count, pixels = images.shape
     data = images.astype(float)
     A = fl.from_numpy(data, ("dense", fmt), name="A")
@@ -153,5 +185,14 @@ def all_pairs_similarity(images, fmt="vbl", instrument=False):
             R[k] + R[l] - 2.0 * o[()], 0.0))),
         inner)))
     prog = fl.multi(norms, distances)
+    return prog, O
+
+
+def all_pairs_similarity(images, fmt="vbl", instrument=False):
+    """Pairwise Euclidean distances between linearized images
+    (Figure 11): norms first, then
+    ``O[k,l] = sqrt(R[k] + R[l] - 2*o[]) where (∀ij o[] += A[k,ij] *
+    A[l,ij])``."""
+    prog, O = all_pairs_similarity_program(images, fmt)
     kernel = fl.compile_kernel(prog, instrument=instrument)
     return kernel, O

@@ -1,8 +1,10 @@
 """Static analysis over CIN programs.
 
 Collects tensors, infers loop extents from tensor dimensions, finds
-result (output) tensors, and validates the program shape before
-lowering.
+result (output) tensors, validates the program shape before lowering,
+and computes *structural keys* — the program's identity up to the data
+it binds, used by the kernel cache to reuse compiled artifacts across
+structurally-identical programs.
 """
 
 from repro.cin.nodes import (
@@ -118,6 +120,116 @@ def _statically_conflicting(a, b):
     return both_static
 
 
+# --------------------------------------------------------------------------
+# Structural keys (the kernel cache's notion of program identity)
+# --------------------------------------------------------------------------
+def tensor_signature(tensor):
+    """The format signature of any tensor-protocol object.
+
+    Objects without a ``format_signature`` method are opaque: they are
+    keyed by identity, so they only ever match themselves.
+    """
+    fn = getattr(tensor, "format_signature", None)
+    if fn is not None:
+        return fn()
+    return ("opaque", id(tensor))
+
+
+def tensor_binding_buffers(tensor):
+    """The canonical role -> buffer mapping for kernel (re)binding."""
+    fn = getattr(tensor, "kernel_buffers", None)
+    if fn is not None:
+        return fn()
+    return {}
+
+
+def structural_key(stmt):
+    """A hashable key identifying the program up to the data it binds.
+
+    The CIN tree is hashed with every tensor replaced by its *slot*
+    (position in first-use order) and its :func:`tensor_signature` —
+    level nesting, shapes, fill, and dtype, but never the backing
+    arrays.  Two programs with equal structural keys lower to the same
+    emitted code, so one compiled kernel serves both once rebound
+    (the premise of :class:`repro.compiler.kernel.KernelCache`).
+
+    Buffer *aliasing* between slots is part of the key: when two slots
+    share a backing array the compiler collapses them into a single
+    kernel parameter, so the sharing pattern must match for a cached
+    kernel to be rebindable.
+    """
+    slots = []
+    slot_index = {}
+
+    def slot(tensor):
+        key = id(tensor)
+        if key not in slot_index:
+            slot_index[key] = len(slots)
+            slots.append(tensor)
+        return slot_index[key]
+
+    body = _stmt_key(stmt, slot)
+    signatures = tuple(tensor_signature(tensor) for tensor in slots)
+    return ("cin", body, signatures, buffer_alias_groups(slots))
+
+
+def buffer_alias_groups(tensors):
+    """Groups of ``(slot, role)`` pairs whose buffers are one object."""
+    owners = {}
+    for slot, tensor in enumerate(tensors):
+        for role, buf in tensor_binding_buffers(tensor).items():
+            owners.setdefault(id(buf), []).append((slot, role))
+    return tuple(tuple(group) for group in owners.values()
+                 if len(group) > 1)
+
+
+def _stmt_key(stmt, slot):
+    if isinstance(stmt, Assign):
+        op = stmt.op.name if stmt.op is not None else None
+        return ("assign", op, _expr_key(stmt.lhs, slot),
+                _expr_key(stmt.rhs, slot))
+    if isinstance(stmt, Forall):
+        return ("forall", stmt.index.name, _extent_key(stmt.ext, slot),
+                _stmt_key(stmt.body, slot))
+    if isinstance(stmt, Sieve):
+        return ("sieve", _expr_key(stmt.cond, slot),
+                _stmt_key(stmt.body, slot))
+    from repro.cin.nodes import Multi, Pass, Where
+
+    if isinstance(stmt, Where):
+        return ("where", _stmt_key(stmt.consumer, slot),
+                _stmt_key(stmt.producer, slot))
+    if isinstance(stmt, Multi):
+        return ("multi",) + tuple(_stmt_key(child, slot)
+                                  for child in stmt.stmts)
+    if isinstance(stmt, Pass):
+        return ("pass",) + tuple(slot(tensor) for tensor in stmt.tensors)
+    raise ReproError("cannot key statement %r" % (stmt,))
+
+
+def _expr_key(expr, slot):
+    from repro.ir.nodes import Call
+
+    if isinstance(expr, Access):
+        return (("access", slot(expr.tensor), expr.protocols)
+                + tuple(_expr_key(idx, slot) for idx in expr.idxs))
+    children = expr.children()
+    if not children:
+        # Leaves (Literal, Var) have data-independent keys already.
+        return expr.key()
+    if isinstance(expr, Call):
+        head = ("call", expr.op.name)
+    else:
+        head = (type(expr).__name__,)
+    return head + tuple(_expr_key(child, slot) for child in children)
+
+
+def _extent_key(ext, slot):
+    if ext is None:
+        return None
+    return ("extent", _expr_key(ext.start, slot), _expr_key(ext.stop, slot))
+
+
 def check_program(stmt):
     """Validate program shape; raises on malformed programs."""
     names_in_scope = []
@@ -151,9 +263,13 @@ def _check(stmt, names_in_scope):
 
 
 __all__ = [
+    "buffer_alias_groups",
     "check_program",
     "forall_indices",
     "infer_extents",
     "output_tensors",
     "program_tensors",
+    "structural_key",
+    "tensor_binding_buffers",
+    "tensor_signature",
 ]

@@ -31,6 +31,8 @@ class Context:
         self.constant_loop_rewrite = constant_loop_rewrite
         self._buffers = {}          # id(array) -> (name, array)
         self._buffer_order = []     # names in binding order
+        self._plan = []             # (slot, role) or None, in binding order
+        self._slot_roles = {}       # id(buffer) -> (slot, role)
         self._scalars = {}          # id(tensor) -> (Var, tensor, writeback)
         self._scalar_order = []
         self._blocks = [[]]
@@ -42,6 +44,20 @@ class Context:
         return self.namer.fresh(hint)
 
     # -- buffers --------------------------------------------------------
+    def register_tensors(self, tensors):
+        """Declare the program's tensors as binding *slots*.
+
+        Every buffer a tensor exposes through ``kernel_buffers`` is
+        mapped back to ``(slot, role)``, so :meth:`binding_plan` can
+        later tell the kernel how to rebind its positional arguments to
+        a fresh set of tensors of the same formats.
+        """
+        from repro.cin.analyze import tensor_binding_buffers
+
+        for slot, tensor in enumerate(tensors):
+            for role, buf in tensor_binding_buffers(tensor).items():
+                self._slot_roles.setdefault(id(buf), (slot, role))
+
     def buffer(self, array, hint="buf"):
         """Bind ``array`` as a kernel parameter; returns its Var."""
         key = id(array)
@@ -49,11 +65,21 @@ class Context:
             name = self.namer.fresh(hint)
             self._buffers[key] = (name, array)
             self._buffer_order.append(key)
+            self._plan.append(self._slot_roles.get(key))
         return Var(self._buffers[key][0])
 
     def bound_buffers(self):
         """``(name, array)`` pairs in binding order."""
         return [self._buffers[key] for key in self._buffer_order]
+
+    def binding_plan(self):
+        """Per-parameter ``(slot, role)`` entries, in binding order.
+
+        ``None`` marks a buffer bound outside the tensor protocol
+        (e.g. by a custom format's unfurl function); such parameters
+        keep their compile-time binding when the kernel is rebound.
+        """
+        return tuple(self._plan)
 
     # -- scalar tensors ---------------------------------------------------
     def scalar_ref(self, tensor):

@@ -1,10 +1,42 @@
 """Kernel assembly: compile a CIN program to an executable Python
-function.
+function, once per program *structure*.
 
-``compile_kernel`` analyzes the program, lowers it, wraps the emitted
-statements in a function whose parameters are the bound numpy buffers,
-``exec``s the source, and returns a :class:`Kernel` ready to run (and
-re-run) against the tensors it was compiled for.
+Compilation is decoupled from data.  ``compile_kernel`` analyzes the
+program, lowers it, wraps the emitted statements in a function whose
+parameters are the bound buffers, and ``exec``s the source — but the
+result of all that work is a :class:`CompiledKernel` *artifact* that
+depends only on the program's structural key (tree shape plus each
+tensor's format signature; see
+:func:`repro.cin.analyze.structural_key`), never on the concrete
+arrays.  The artifact records a *binding plan* mapping every kernel
+parameter to a ``(slot, role)`` pair — slot = the tensor's position in
+first-use order, role = which of its buffers (``lvl0_pos``, ``val``,
+``builder``, ...) — so the same artifact can be re-bound to any
+tensors with matching signatures.
+
+The compile-once/run-many lifecycle::
+
+    kernel = compile_kernel(program)   # miss: lower + emit + exec
+    kernel.run()                       # run against the bound tensors
+    kernel.rebind({"A": other_A})      # re-point a slot at new data
+    kernel.run()
+    kernel.run(A=third_A)              # or override for a single call
+
+Artifacts live in a process-wide LRU :class:`KernelCache` keyed by
+``(structural_key, instrument, name, constant_loop_rewrite)``.  A
+second ``compile_kernel``/``execute`` of a structurally-identical
+program — same tree, same formats, fresh data — skips lowering,
+emission, and ``exec`` entirely and just rebinds the cached artifact
+(``cache=False`` opts out).  ``KernelCache.stats()`` exposes hit/miss
+counters; the benchmark harness prints them alongside compile and run
+times to show the amortization.
+
+Buffers bound outside the tensor protocol (a custom format's unfurl
+closure calling ``ctx.buffer`` on arrays its ``kernel_buffers`` does
+not report) get a ``None`` plan entry and keep their compile-time
+binding forever; such tensors are identity-pinned by their format
+signature, so a cached artifact is never rebound across distinct
+custom tensors.
 
 Scalar (0-dimensional) tensors are optimized into local accumulator
 variables, loaded once in the preamble and written back at the end.
@@ -14,40 +46,301 @@ update, giving a deterministic work measure used by the benchmark
 harness alongside wall-clock time.
 """
 
-from repro.cin.analyze import check_program, infer_extents, output_tensors
+import threading
+import time
+from collections import OrderedDict
+
+from repro.cin.analyze import (
+    buffer_alias_groups,
+    check_program,
+    infer_extents,
+    output_tensors,
+    program_tensors,
+    structural_key,
+    tensor_binding_buffers,
+    tensor_signature,
+)
 from repro.compiler.context import Context
 from repro.compiler.lower import Lowerer
 from repro.ir import asm, emit
 from repro.ir.nodes import Literal, Load
 from repro.ir.runtime import kernel_globals
+from repro.util.errors import BindingError
+
+
+class CompiledKernel:
+    """The data-independent artifact of one compilation.
+
+    Holds the executable function, its source, the binding plan, and
+    the per-slot format signatures needed to validate rebinds.  Shared
+    (via the cache) between every :class:`Kernel` with the same
+    structure; itself immutable after construction.
+    """
+
+    __slots__ = ("fn", "name", "source", "plan", "seed_args",
+                 "seed_tensors", "signatures", "alias_groups",
+                 "instrument", "compile_seconds")
+
+    def __init__(self, fn, name, source, plan, seed_args, seed_tensors,
+                 signatures, alias_groups, instrument, compile_seconds):
+        self.fn = fn
+        self.name = name
+        self.source = source
+        self.plan = plan
+        self.seed_args = seed_args
+        self.seed_tensors = seed_tensors
+        self.signatures = signatures
+        self.alias_groups = alias_groups
+        self.instrument = instrument
+        self.compile_seconds = compile_seconds
+
+    def bind(self, tensors):
+        """Positional kernel arguments for ``tensors`` (one per slot).
+
+        Validates format signatures and the buffer-aliasing pattern,
+        then resolves every plan entry to the new tensor's buffer.
+        """
+        tensors = list(tensors)
+        if len(tensors) != len(self.signatures):
+            raise BindingError(
+                "kernel has %d tensor slots, got %d tensors"
+                % (len(self.signatures), len(tensors)))
+        for slot, (tensor, expected) in enumerate(
+                zip(tensors, self.signatures)):
+            actual = tensor_signature(tensor)
+            if actual != expected:
+                raise BindingError(
+                    "slot %d (%s): format signature %r does not match "
+                    "the compiled kernel's %r"
+                    % (slot, getattr(tensor, "name", "?"), actual,
+                       expected))
+        roles = [tensor_binding_buffers(tensor) for tensor in tensors]
+        for group in self.alias_groups:
+            distinct = {id(roles[slot][role]) for slot, role in group}
+            if len(distinct) != 1:
+                raise BindingError(
+                    "buffers %s shared one array at compile time but "
+                    "the new tensors bind distinct arrays" % (group,))
+        args = []
+        seen = {}  # id(buffer) -> (slot, role): rejects new aliasing
+        for entry, seed in zip(self.plan, self.seed_args):
+            if entry is None:
+                args.append(seed)
+                continue
+            slot, role = entry
+            buf = roles[slot][role]
+            # Distinct parameters were distinct arrays at compile time
+            # (aliased buffers collapse into one parameter), so any
+            # aliasing between parameters here is new — the emitted
+            # code assumes separate storage (e.g. output resets would
+            # wipe inputs).
+            other = seen.setdefault(id(buf), entry)
+            if other != entry:
+                raise BindingError(
+                    "slots %s and %s bind one array, but the kernel "
+                    "was compiled for distinct buffers; use distinct "
+                    "arrays or recompile with the shared tensors"
+                    % (other, entry))
+            args.append(buf)
+        return args
 
 
 class Kernel:
-    """A compiled CIN program bound to its tensors."""
+    """A compiled CIN program bound to tensors — a cheap, rebindable
+    view over a shared :class:`CompiledKernel` artifact."""
 
-    def __init__(self, fn, args, source, program, outputs, instrument):
-        self._fn = fn
-        self._args = args
-        self.source = source
+    def __init__(self, artifact, tensors, program, from_cache=False):
+        self._artifact = artifact
+        self._tensors = list(tensors)
+        self._args = artifact.bind(self._tensors)
         self.program = program
-        self.outputs = outputs
-        self.instrument = instrument
+        self.from_cache = from_cache
+        self._output_slots = tuple(
+            next(slot for slot, t in enumerate(self._tensors)
+                 if t is out)
+            for out in output_tensors(program))
 
-    def run(self):
-        """Execute the kernel; returns the op count when instrumented."""
-        result = self._fn(*self._args)
+    @property
+    def source(self):
+        return self._artifact.source
+
+    @property
+    def instrument(self):
+        return self._artifact.instrument
+
+    @property
+    def compile_seconds(self):
+        """Wall-clock seconds spent lowering/emitting this artifact."""
+        return self._artifact.compile_seconds
+
+    @property
+    def outputs(self):
+        """The currently-bound output tensors, in first-write order."""
+        return [self._tensors[slot] for slot in self._output_slots]
+
+    @property
+    def tensors(self):
+        """The currently-bound tensors, in slot (first-use) order."""
+        return list(self._tensors)
+
+    def run(self, **overrides):
+        """Execute the kernel; returns the op count when instrumented.
+
+        Keyword arguments override bindings by tensor name for this
+        call only: ``kernel.run(A=other_A)`` executes against
+        ``other_A`` without changing the kernel's stored binding.
+        """
+        if overrides:
+            tensors = self._with_overrides(overrides)
+            result = self._artifact.fn(*self._artifact.bind(tensors))
+        else:
+            result = self._artifact.fn(*self._args)
         return result if self.instrument else None
 
-    def __call__(self):
-        return self.run()
+    def rebind(self, tensors=None, **named):
+        """Persistently re-point binding slots at new tensors.
+
+        ``tensors`` may be a full slot-ordered sequence or a mapping of
+        tensor names to replacements; keyword arguments are shorthand
+        for the mapping form.  Replacements must have the same format
+        signature as the tensors they replace.  Returns ``self``.
+        """
+        if tensors is None:
+            replacement = self._with_overrides(dict(named))
+        elif isinstance(tensors, dict):
+            mapping = dict(tensors)
+            mapping.update(named)
+            replacement = self._with_overrides(mapping)
+        else:
+            if named:
+                raise BindingError(
+                    "pass either a full tensor sequence or name "
+                    "overrides, not both")
+            replacement = list(tensors)
+        self._args = self._artifact.bind(replacement)
+        self._tensors = replacement
+        return self
+
+    def _with_overrides(self, mapping):
+        """The slot list with named slots replaced."""
+        by_name = {}
+        for slot, tensor in enumerate(self._tensors):
+            by_name.setdefault(getattr(tensor, "name", None),
+                               []).append(slot)
+        tensors = list(self._tensors)
+        for name, replacement in mapping.items():
+            slots = by_name.get(name, [])
+            if not slots:
+                raise BindingError(
+                    "no tensor named %r bound by this kernel (have: %s)"
+                    % (name, ", ".join(sorted(
+                        str(n) for n in by_name))))
+            if len(slots) > 1:
+                raise BindingError(
+                    "tensor name %r is bound to %d slots; rebind with "
+                    "a full tensor sequence instead"
+                    % (name, len(slots)))
+            tensors[slots[0]] = replacement
+        return tensors
+
+    def __call__(self, **overrides):
+        return self.run(**overrides)
 
 
-def compile_kernel(program, instrument=False, name="kernel",
-                   constant_loop_rewrite=True):
-    """Compile one CIN program into a :class:`Kernel`."""
-    check_program(program)
+class KernelCache:
+    """A process-wide, thread-safe LRU cache of compiled artifacts.
+
+    Keys are ``(structural_key, instrument, name,
+    constant_loop_rewrite)``; values are :class:`CompiledKernel`
+    artifacts.  ``maxsize`` bounds the number of artifacts; the least
+    recently used entry is evicted first.  ``stats()`` reports hits,
+    misses, evictions, and occupancy.
+    """
+
+    def __init__(self, maxsize=256):
+        self._lock = threading.RLock()
+        self._entries = OrderedDict()
+        self._maxsize = int(maxsize)
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self):
+        return self._maxsize
+
+    def lookup(self, key):
+        """The cached artifact for ``key``, or None (counts a miss)."""
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return artifact
+
+    def store(self, key, artifact):
+        with self._lock:
+            if self._maxsize <= 0:
+                return
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def resize(self, maxsize):
+        """Change the size cap, evicting LRU entries if shrinking."""
+        with self._lock:
+            self._maxsize = int(maxsize)
+            while len(self._entries) > max(self._maxsize, 0):
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self):
+        """Drop all entries and reset the statistics counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def stats(self):
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "maxsize": self._maxsize,
+            }
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+
+#: The process-wide artifact cache used by ``compile_kernel``.
+KERNEL_CACHE = KernelCache()
+
+
+def kernel_cache():
+    """The process-wide :class:`KernelCache`."""
+    return KERNEL_CACHE
+
+
+def _compile_artifact(program, tensors, instrument, name,
+                      constant_loop_rewrite):
+    """Lower, emit, and exec one program; package the artifact."""
+    start = time.perf_counter()
     ctx = Context(instrument=instrument,
                   constant_loop_rewrite=constant_loop_rewrite)
+    ctx.register_tensors(tensors)
     ctx.extents = infer_extents(program)
     outputs = output_tensors(program)
 
@@ -75,15 +368,79 @@ def compile_kernel(program, instrument=False, name="kernel",
     source = emit(func)
     namespace = kernel_globals()
     exec(compile(source, "<repro-kernel>", "exec"), namespace)
-    args = [array for _, array in ctx.bound_buffers()]
-    return Kernel(namespace[name], args, source, program, outputs,
-                  instrument)
+    plan = ctx.binding_plan()
+    # Keep first-run buffers only where rebinding can never replace
+    # them (None plan entries); rebindable parameters must not pin
+    # their seed data in the process-wide cache.
+    seed_args = tuple(
+        array if entry is None else None
+        for entry, (_, array) in zip(plan, ctx.bound_buffers()))
+    signatures = tuple(tensor_signature(t) for t in tensors)
+    return CompiledKernel(
+        fn=namespace[name],
+        name=name,
+        source=source,
+        plan=plan,
+        seed_args=seed_args,
+        # Pin only identity-keyed tensors: their format signatures
+        # embed id(tensor), which must stay unrecycled for as long as
+        # the artifact can be looked up.
+        seed_tensors=tuple(
+            tensor for tensor, sig in zip(tensors, signatures)
+            if _identity_pinned(tensor, sig)),
+        signatures=signatures,
+        alias_groups=buffer_alias_groups(tensors),
+        instrument=instrument,
+        compile_seconds=time.perf_counter() - start,
+    )
 
 
-def execute(program, instrument=False):
+def _identity_pinned(tensor, signature):
+    """True when ``signature`` embeds ``id(tensor)`` (opaque or custom
+    tensors), which then must outlive the artifact."""
+    target = id(tensor)
+
+    def contains(part):
+        if isinstance(part, tuple):
+            return any(contains(item) for item in part)
+        return part == target
+
+    return contains(signature)
+
+
+def compile_kernel(program, instrument=False, name="kernel",
+                   constant_loop_rewrite=True, cache=True):
+    """Compile one CIN program into a :class:`Kernel`.
+
+    With ``cache=True`` (the default) the compiled artifact is looked
+    up in — and stored into — the process-wide :class:`KernelCache`,
+    so structurally-identical programs compile once and rebind many
+    times.  ``cache=False`` always compiles fresh and leaves the cache
+    (and its statistics) untouched.
+    """
+    check_program(program)
+    tensors = program_tensors(program)
+    key = None
+    if cache:
+        key = (structural_key(program), bool(instrument), name,
+               bool(constant_loop_rewrite))
+        artifact = KERNEL_CACHE.lookup(key)
+        if artifact is not None:
+            return Kernel(artifact, tensors, program, from_cache=True)
+    artifact = _compile_artifact(program, tensors, instrument, name,
+                                 constant_loop_rewrite)
+    if key is not None:
+        KERNEL_CACHE.store(key, artifact)
+    return Kernel(artifact, tensors, program)
+
+
+def execute(program, instrument=False, cache=True):
     """Compile and run a program once.
 
     Returns the op count when instrumented, else None.  Results land in
-    the program's output tensors.
+    the program's output tensors.  Routed through the kernel cache, so
+    executing the same program structure repeatedly pays for lowering
+    only once.
     """
-    return compile_kernel(program, instrument=instrument).run()
+    return compile_kernel(program, instrument=instrument,
+                          cache=cache).run()

@@ -51,6 +51,18 @@ class LoopletTensor:
             raise FormatError("%s is one-dimensional" % self.name)
         return access(self, *idxs)
 
+    def kernel_buffers(self):
+        """No rebindable buffers: whatever ``unfurl_fn`` binds through
+        ``ctx.buffer`` stays welded to this tensor object."""
+        return {}
+
+    def format_signature(self):
+        """Identity-pinned: the structure is an opaque closure, so a
+        LoopletTensor is only structurally equal to itself.  Kernel
+        caching still works for repeated runs of the same tensor, but
+        two distinct LoopletTensors never share a compiled kernel."""
+        return ("custom", id(self), self.shape)
+
     def unfurl_root(self, ctx, proto=None):
         """Unfurl the (single) fiber of this tensor."""
         del proto  # custom formats decide their own protocol

@@ -43,7 +43,13 @@ from repro.cin.builders import (
     where,
     window,
 )
-from repro.compiler.kernel import Kernel, compile_kernel, execute
+from repro.compiler.kernel import (
+    Kernel,
+    KernelCache,
+    compile_kernel,
+    execute,
+    kernel_cache,
+)
 from repro.ir import MISSING, ops
 from repro.tensors.output import RunOutput, SparseOutput
 from repro.tensors import (
@@ -62,7 +68,8 @@ __all__ = [
     "gallop", "ge", "gt", "increment", "indices", "land", "le", "literal",
     "locate", "lor", "lt", "maximum", "minimum", "multi", "ne", "offset",
     "pass_", "permit", "reduce_into", "sieve", "store", "walk", "where",
-    "window", "Kernel", "compile_kernel", "execute", "MISSING", "ops",
+    "window", "Kernel", "KernelCache", "compile_kernel", "execute",
+    "kernel_cache", "MISSING", "ops",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",
     "symmetric_from_numpy",

@@ -106,6 +106,16 @@ class RunOutput:
             raise FormatError("%s has %d modes" % (self.name, self.ndim))
         return access(self, *idxs)
 
+    def kernel_buffers(self):
+        """The builder is the only object kernels bind for RLE outputs."""
+        return {"builder": self.builder}
+
+    def format_signature(self):
+        from repro.tensors.tensor import _normalize_fill
+
+        return ("run_output", self.shape, str(self.dtype),
+                _normalize_fill(self.fill))
+
     def finalize(self):
         """Split the flat run stream into per-row RLE arrays."""
         self.builder.close()
@@ -216,6 +226,16 @@ class SparseOutput:
         if len(idxs) != self.ndim:
             raise FormatError("%s has %d modes" % (self.name, self.ndim))
         return access(self, *idxs)
+
+    def kernel_buffers(self):
+        """The builder is the only object kernels bind for sparse outputs."""
+        return {"builder": self.builder}
+
+    def format_signature(self):
+        from repro.tensors.tensor import _normalize_fill
+
+        return ("sparse_output", self.shape, str(self.dtype),
+                _normalize_fill(self.fill))
 
     def finalize(self):
         """Split the flat coordinate stream into per-row lists."""

@@ -14,6 +14,14 @@ from repro.formats.level import FiberSlice
 from repro.util.errors import DimensionError, FormatError
 
 
+def _normalize_fill(fill):
+    """Fill values as the compiler literalizes them (numpy scalars are
+    unwrapped before being baked into source)."""
+    if isinstance(fill, np.generic):
+        fill = fill.item()
+    return (type(fill).__name__, repr(fill))
+
+
 class Tensor:
     """A fiber-tree tensor (Section 4 of the paper)."""
 
@@ -80,6 +88,25 @@ class Tensor:
                 out["lvl%d_%s" % (depth, hint)] = array
         out["val"] = self.element.val
         return out
+
+    def kernel_buffers(self):
+        """Canonical role -> buffer mapping used for kernel (re)binding.
+
+        The keys are stable across tensors of the same format, so a
+        compiled kernel's parameters can be re-pointed at another
+        tensor's buffers (see :meth:`repro.compiler.kernel.Kernel.rebind`).
+        """
+        return self.buffers()
+
+    def format_signature(self):
+        """A hashable description of everything the compiler bakes into
+        emitted code: level nesting (class per mode), per-mode shapes,
+        the fill value, and the element dtype.  Two tensors with equal
+        signatures are interchangeable under the same compiled kernel.
+        """
+        levels = tuple((type(level).__name__, level.shape)
+                       for level in self.levels)
+        return ("tensor", levels, str(self.dtype), _normalize_fill(self.fill))
 
     def __repr__(self):
         layout = "/".join(type(level).__name__.replace("Level", "")

@@ -41,3 +41,13 @@ class ProtocolError(ReproError):
 
 class DimensionError(ReproError):
     """Tensor dimensions or loop extents are inconsistent."""
+
+
+class BindingError(ReproError):
+    """A compiled kernel could not be (re)bound to the given tensors.
+
+    Raised when a replacement tensor's format signature differs from
+    the one the kernel was compiled for, when a tensor name does not
+    resolve to a binding slot, or when buffer aliasing between slots
+    no longer matches the compile-time pattern.
+    """

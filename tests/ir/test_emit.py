@@ -94,6 +94,70 @@ class TestEmit:
         exec(emit(func), namespace)
         assert namespace["kernel"](5) == 10
 
+    def test_accum_logical_and_avoids_bitwise(self):
+        # Python's &= is bitwise; the emitter must stay with `and`.
+        source = emit(asm.AccumStmt(Var("acc"), ops.AND, Var("v")))
+        assert source == "acc = acc and (v)\n"
+
+    def test_accum_logical_or_avoids_bitwise(self):
+        source = emit(asm.AccumStmt(Var("acc"), ops.OR, Var("v")))
+        assert source == "acc = acc or (v)\n"
+
+    def test_accum_logical_parenthesizes_value(self):
+        # Without the parentheses `a or b and c` would rebind by
+        # precedence; the emitted form must group the update value.
+        value = Call(ops.AND, [Var("b"), Var("c")])
+        source = emit(asm.AccumStmt(Var("a"), ops.OR, value))
+        assert source == "a = a or (b and c)\n"
+
+    def test_accum_symbol_ops(self):
+        assert emit(asm.AccumStmt(Var("a"), ops.SUB, Var("v"))) \
+            == "a -= v\n"
+        assert emit(asm.AccumStmt(Var("a"), ops.MUL, Var("v"))) \
+            == "a *= v\n"
+        assert emit(asm.AccumStmt(Var("a"), ops.DIV, Var("v"))) \
+            == "a /= v\n"
+
+    def test_accum_max_uses_function(self):
+        source = emit(asm.AccumStmt(Var("acc"), ops.MAX, Var("v")))
+        assert source == "acc = max(acc, v)\n"
+
+    def test_accum_symboled_op_outside_augmented_set(self):
+        # POW has an infix symbol but no augmented-assignment form the
+        # emitter uses; it must fall back to the runtime call.
+        source = emit(asm.AccumStmt(Var("acc"), ops.POW, Var("v")))
+        assert source == "acc = pow(acc, v)\n"
+
+    def test_accum_into_load_target(self):
+        target = Load("out", Var("p"))
+        source = emit(asm.AccumStmt(target, ops.MIN, Var("v")))
+        assert source == "out[p] = min(out[p], v)\n"
+
+    def test_accum_non_symbol_op_executes(self):
+        body = asm.Block([
+            asm.AssignStmt(Var("acc"), Literal(9)),
+            asm.ForLoop("i", 0, Var("n"),
+                        asm.AccumStmt(Var("acc"), ops.MIN, Var("i"))),
+        ])
+        func = asm.FuncDef("kernel", ["n"], body, returns=["acc"])
+        namespace = kernel_globals()
+        exec(emit(func), namespace)
+        assert namespace["kernel"](5) == 0
+
+    def test_accum_logical_executes(self):
+        body = asm.Block([
+            asm.AssignStmt(Var("acc"), Literal(True)),
+            asm.ForLoop("i", 0, Var("n"),
+                        asm.AccumStmt(Var("acc"), ops.AND,
+                                      Call(ops.LT, [Var("i"),
+                                                    Literal(3)]))),
+        ])
+        func = asm.FuncDef("kernel", ["n"], body, returns=["acc"])
+        namespace = kernel_globals()
+        exec(emit(func), namespace)
+        assert namespace["kernel"](2) is True
+        assert namespace["kernel"](5) is False
+
     def test_while_loop(self):
         loop = asm.WhileLoop(Call(ops.LT, [Var("i"), Var("n")]),
                              asm.AccumStmt(Var("i"), ops.ADD, Literal(1)))

@@ -1,0 +1,82 @@
+"""Format signatures and kernel-buffer maps: the tensor half of the
+structural-key contract."""
+
+import numpy as np
+
+import repro.lang as fl
+from repro.tensors.output import RunOutput, SparseOutput
+
+
+def vec(fmt, n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.random(n)
+    data[data < 0.5] = 0.0
+    return fl.from_numpy(data, (fmt,), name="T")
+
+
+class TestTensorSignature:
+    def test_equal_across_data(self):
+        assert (vec("sparse", seed=1).format_signature()
+                == vec("sparse", seed=2).format_signature())
+
+    def test_name_not_in_signature(self):
+        a = vec("sparse")
+        b = fl.from_numpy(a.to_numpy(), ("sparse",), name="other")
+        assert a.format_signature() == b.format_signature()
+
+    def test_format_differs(self):
+        assert (vec("sparse").format_signature()
+                != vec("dense").format_signature())
+
+    def test_shape_differs(self):
+        assert (vec("dense", n=10).format_signature()
+                != vec("dense", n=11).format_signature())
+
+    def test_dtype_differs(self):
+        a = fl.from_numpy(np.arange(4, dtype=np.float64), ("dense",))
+        b = fl.from_numpy(np.arange(4, dtype=np.int64), ("dense",))
+        assert a.format_signature() != b.format_signature()
+
+    def test_fill_differs(self):
+        data = np.full(6, 2.0)
+        a = fl.from_numpy(data, ("rle",), fill=0.0)
+        b = fl.from_numpy(data, ("rle",), fill=2.0)
+        assert a.format_signature() != b.format_signature()
+
+    def test_numpy_fill_normalized(self):
+        data = np.zeros(6)
+        a = fl.from_numpy(data, ("sparse",), fill=np.float64(0.0))
+        b = fl.from_numpy(data, ("sparse",), fill=0.0)
+        assert a.format_signature() == b.format_signature()
+
+    def test_scalar_signature(self):
+        assert (fl.Scalar(name="a").format_signature()
+                == fl.Scalar(name="b").format_signature())
+
+    def test_signature_is_hashable(self):
+        hash(vec("vbl").format_signature())
+
+
+class TestKernelBuffers:
+    def test_tensor_roles_match_buffers(self):
+        t = vec("sparse")
+        assert t.kernel_buffers() == t.buffers()
+        assert set(t.kernel_buffers()) == {"lvl0_pos", "lvl0_idx", "val"}
+
+    def test_roles_stable_across_same_format(self):
+        assert (set(vec("vbl", seed=1).kernel_buffers())
+                == set(vec("vbl", seed=2).kernel_buffers()))
+
+    def test_run_output(self):
+        out = RunOutput((4, 6), fill=0, dtype=np.uint8)
+        assert out.kernel_buffers() == {"builder": out.builder}
+        other = RunOutput((4, 6), fill=0, dtype=np.uint8, name="x")
+        assert out.format_signature() == other.format_signature()
+        smaller = RunOutput((4, 5), fill=0, dtype=np.uint8)
+        assert out.format_signature() != smaller.format_signature()
+
+    def test_sparse_output(self):
+        out = SparseOutput((3, 3), fill=0.0)
+        assert out.kernel_buffers() == {"builder": out.builder}
+        assert (out.format_signature()
+                != RunOutput((3, 3), fill=0.0).format_signature())

@@ -12,6 +12,17 @@ _EXAMPLES = sorted(name for name in os.listdir(_EXAMPLES_DIR)
                    if name.endswith(".py"))
 
 
+def _subprocess_env():
+    """Child processes need `repro` importable even when the parent
+    found it through pytest's `pythonpath` ini (not the environment)."""
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                       os.pardir, "src"))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src + os.pathsep + existing) if existing else src
+    return env
+
+
 def test_examples_are_present():
     assert len(_EXAMPLES) >= 3  # the deliverable floor
     assert "quickstart.py" in _EXAMPLES
@@ -21,7 +32,8 @@ def test_examples_are_present():
 def test_example_runs(script):
     result = subprocess.run(
         [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
-        capture_output=True, text=True, timeout=240)
+        capture_output=True, text=True, timeout=240,
+        env=_subprocess_env())
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "examples should narrate their output"
 
@@ -29,6 +41,7 @@ def test_example_runs(script):
 def test_module_demo_runs():
     result = subprocess.run(
         [sys.executable, "-m", "repro"],
-        capture_output=True, text=True, timeout=120)
+        capture_output=True, text=True, timeout=120,
+        env=_subprocess_env())
     assert result.returncode == 0, result.stderr[-2000:]
     assert "Emitted kernel" in result.stdout
