@@ -88,3 +88,18 @@ def test_report_fig10_amortization(write_report):
                                     ALPHA, BETA, "rle")[0])
     write_report("fig10_alpha_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig10_optimization(write_report, write_json_report):
+    """Optimizer on vs off for the RLE alpha blend; the uint8 output
+    must be bit-identical."""
+    from repro.bench.harness import optimization_table
+
+    img_b, img_c = image_pair("digit", seed=1)
+    table, payload = optimization_table(
+        "Figure 10 optimization: RLE alpha blend (digit-like)",
+        lambda: alpha_blend_program(img_b, img_c, ALPHA, BETA,
+                                    "rle")[0])
+    write_report("fig10_alpha_optimization", [table])
+    write_json_report("fig10_alpha", payload)
+    assert payload["max_abs_diff"] == 0.0

@@ -76,3 +76,27 @@ def test_report_fig11_amortization(write_report):
                                              "vbl")[0])
     write_report("fig11_allpairs_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig11_optimization(write_report, write_json_report):
+    """Optimizer on vs off for all-pairs similarity in both the vbl
+    (sparse coiteration) and dense (vectorizable inner product)
+    formats, over identical batches."""
+    from repro.bench.harness import optimization_table
+
+    data = batch("digit", 20)
+    vbl_table, vbl_payload = optimization_table(
+        "Figure 11 optimization: all-pairs (vbl)",
+        lambda: all_pairs_similarity_program(data, "vbl")[0])
+    dense_table, dense_payload = optimization_table(
+        "Figure 11 optimization: all-pairs (dense)",
+        lambda: all_pairs_similarity_program(data, "dense")[0])
+    write_report("fig11_allpairs_optimization",
+                 [vbl_table, dense_table])
+    write_json_report("fig11_allpairs", {"vbl": vbl_payload,
+                                         "dense": dense_payload})
+    assert vbl_payload["max_abs_diff"] < 1e-9
+    assert dense_payload["max_abs_diff"] < 1e-9
+    # Dense all-pairs has a vectorizable inner product: the optimized
+    # variant must not be slower.
+    assert dense_payload["speedup"] > 1.0

@@ -95,3 +95,20 @@ def test_report_fig7_amortization(suite, write_report):
         lambda: spmspv_program(next(mats), vec, "walk_walk")[0])
     write_report("fig7_spmspv_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig7_optimization(suite, write_report,
+                                  write_json_report):
+    """Optimizer on vs off for SpMSpV over identical data: the sparse
+    coiteration gains come from LICM/CSE/dead-store cleanup, and the
+    results must not change."""
+    from repro.bench.harness import optimization_table
+
+    mat = suite["pores_like_clustered"]
+    vec = make_x("dense10pct", seed=7)
+    table, payload = optimization_table(
+        "Figure 7 optimization: SpMSpV walk_walk (pores-like)",
+        lambda: spmspv_program(mat, vec, "walk_walk")[0])
+    write_report("fig7_spmspv_optimization", [table])
+    write_json_report("fig7_spmspv", payload)
+    assert payload["max_abs_diff"] < 1e-9

@@ -72,3 +72,19 @@ def test_report_fig8_amortization(suite, write_report):
         lambda: triangle_count_program(adj, "gallop")[0])
     write_report("fig8_triangles_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig8_optimization(suite, write_report,
+                                  write_json_report):
+    """Optimizer on vs off for gallop triangle counting: the A[i,j]
+    factor hoists out of the innermost intersection loop, and the
+    count must not change."""
+    from repro.bench.harness import optimization_table
+
+    adj = suite["ca_like_powerlaw"]
+    table, payload = optimization_table(
+        "Figure 8 optimization: gallop triangle count (ca-like)",
+        lambda: triangle_count_program(adj, "gallop")[0])
+    write_report("fig8_triangles_optimization", [table])
+    write_json_report("fig8_triangles", payload)
+    assert payload["max_abs_diff"] == 0.0

@@ -80,3 +80,17 @@ def test_report_fig9_amortization(write_report):
             make_grid(next(densities), seed=3), FILTER)[0])
     write_report("fig9_convolution_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig9_optimization(write_report, write_json_report):
+    """Optimizer on vs off for the masked convolution over identical
+    grids; outputs must match exactly (no dense loop reassociates)."""
+    from repro.bench.harness import optimization_table
+
+    grid = make_grid(0.05, seed=3)
+    table, payload = optimization_table(
+        "Figure 9 optimization: masked convolution (5% density)",
+        lambda: masked_convolution_program(grid, FILTER)[0])
+    write_report("fig9_convolution_optimization", [table])
+    write_json_report("fig9_convolution", payload)
+    assert payload["max_abs_diff"] < 1e-12

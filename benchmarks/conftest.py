@@ -7,11 +7,20 @@ results survive output capture (they are summarized in
 EXPERIMENTS.md).
 """
 
+import json
 import os
 
 import pytest
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", action="store_true", default=False,
+        help="also write machine-readable benchmark results as "
+             "benchmarks/reports/BENCH_<name>.json (compile/run times, "
+             "cache hits, optimized-vs-unoptimized speedups)")
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +38,27 @@ def write_report(report_dir):
             handle.write(rendered + "\n")
         print()
         print(rendered)
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def write_json_report(report_dir, request):
+    """Write a JSON benchmark payload, gated on ``--bench-json``.
+
+    Returns the written path, or None when the flag is off (so tests
+    can call it unconditionally).
+    """
+    enabled = request.config.getoption("--bench-json")
+
+    def _write(name, payload):
+        if not enabled:
+            return None
+        path = os.path.join(report_dir, "BENCH_%s.json" % name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
     return _write

@@ -17,9 +17,20 @@ compile time from run time and reports kernel-cache hits, and
 :func:`amortization_table` builds the standard compile-once/run-many
 table — the first run pays for lowering and emission, every later run
 of the same structure rebinds a cached artifact over fresh data.
+
+Since the target-IR optimizer pipeline landed,
+:func:`optimization_table` compares the same program compiled at
+``opt_level=0`` (lowered code emitted untouched) against the default
+level (folding, LICM, CSE, dense-loop vectorization), over *identical*
+data: it reports per-variant compile and run times, the run-time
+speedup, and the largest output deviation, plus a JSON-ready payload
+dict so the perf trajectory is machine-readable across PRs (see the
+``--bench-json`` flag in ``benchmarks/conftest.py``).
 """
 
 import time
+
+import numpy as np
 
 from repro.compiler.kernel import compile_kernel, kernel_cache
 
@@ -110,6 +121,69 @@ def amortization_table(title, make_program, runs=3, repeats=3,
         table.add("#%d" % (position + 1), compile_s, run_s,
                   "hit" if hit else "miss")
     return table
+
+
+def _snapshot_outputs(program):
+    """Copies of the program's output tensors as numpy arrays."""
+    from repro.cin.analyze import output_tensors
+
+    snaps = []
+    for tensor in output_tensors(program):
+        try:
+            snaps.append(np.array(tensor.to_numpy(), copy=True))
+        except AttributeError:
+            snaps.append(np.asarray(tensor.value))
+    return snaps
+
+
+def optimization_table(title, make_program, repeats=3, **compile_opts):
+    """Optimized-vs-unoptimized comparison for one program structure.
+
+    ``make_program`` must build the program over *identical data* on
+    every call (fresh tensors are fine), so the two variants are
+    directly comparable: variant one compiles at ``opt_level=0`` (the
+    lowered code, emitted untouched), variant two at the default level
+    (scalar passes plus vectorization).  Returns ``(table, payload)``
+    where ``payload`` is a JSON-serializable dict with compile/run
+    times, the kernel-cache statistics, the run-time speedup of the
+    optimized variant, and the largest absolute output difference
+    between the two.
+    """
+    compile_opts.pop("opt_level", None)
+    variants = [("opt_level=0", 0), ("optimized", None)]
+    table = Table(title, ["variant", "compile (s)", "run (s)",
+                          "speedup", "cache"])
+    measured = {}
+    outputs = {}
+    for label, level in variants:
+        program = make_program()
+        kernel, compile_s, hit = timed_compile(program, opt_level=level,
+                                               **compile_opts)
+        run_s = time_kernel(kernel, repeats=repeats)
+        measured[label] = {"compile_s": compile_s, "run_s": run_s,
+                           "cache_hit": bool(hit)}
+        outputs[label] = _snapshot_outputs(program)
+    scalar, optimized = (measured[label] for label, _ in variants)
+    boost = speedup(scalar["run_s"], optimized["run_s"])
+    max_abs_diff = 0.0
+    for left, right in zip(outputs["opt_level=0"], outputs["optimized"]):
+        if left.size:
+            max_abs_diff = max(
+                max_abs_diff,
+                float(np.max(np.abs(left.astype(float)
+                                    - right.astype(float)))))
+    table.add("opt_level=0", scalar["compile_s"], scalar["run_s"], 1.0,
+              "hit" if scalar["cache_hit"] else "miss")
+    table.add("optimized", optimized["compile_s"], optimized["run_s"],
+              boost, "hit" if optimized["cache_hit"] else "miss")
+    payload = {
+        "title": title,
+        "variants": measured,
+        "speedup": boost,
+        "max_abs_diff": max_abs_diff,
+        "cache": kernel_cache().stats(),
+    }
+    return table, payload
 
 
 def assert_amortized(table):

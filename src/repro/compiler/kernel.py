@@ -23,7 +23,8 @@ The compile-once/run-many lifecycle::
     kernel.run(A=third_A)              # or override for a single call
 
 Artifacts live in a process-wide LRU :class:`KernelCache` keyed by
-``(structural_key, instrument, name, constant_loop_rewrite)``.  A
+``(structural_key, instrument, name, constant_loop_rewrite,
+opt_level)``.  A
 second ``compile_kernel``/``execute`` of a structurally-identical
 program — same tree, same formats, fresh data — skips lowering,
 emission, and ``exec`` entirely and just rebinds the cached artifact
@@ -64,6 +65,7 @@ from repro.compiler.context import Context
 from repro.compiler.lower import Lowerer
 from repro.ir import asm, emit
 from repro.ir.nodes import Literal, Load
+from repro.ir.optimize import DEFAULT_OPT_LEVEL, optimize_kernel
 from repro.ir.runtime import kernel_globals
 from repro.util.errors import BindingError
 
@@ -77,15 +79,18 @@ class CompiledKernel:
     structure; itself immutable after construction.
     """
 
-    __slots__ = ("fn", "name", "source", "plan", "seed_args",
-                 "seed_tensors", "signatures", "alias_groups",
-                 "instrument", "compile_seconds")
+    __slots__ = ("fn", "name", "source", "raw_source", "opt_level",
+                 "plan", "seed_args", "seed_tensors", "signatures",
+                 "alias_groups", "instrument", "compile_seconds")
 
-    def __init__(self, fn, name, source, plan, seed_args, seed_tensors,
-                 signatures, alias_groups, instrument, compile_seconds):
+    def __init__(self, fn, name, source, raw_source, opt_level, plan,
+                 seed_args, seed_tensors, signatures, alias_groups,
+                 instrument, compile_seconds):
         self.fn = fn
         self.name = name
         self.source = source
+        self.raw_source = raw_source
+        self.opt_level = opt_level
         self.plan = plan
         self.seed_args = seed_args
         self.seed_tensors = seed_tensors
@@ -162,7 +167,21 @@ class Kernel:
 
     @property
     def source(self):
+        """The emitted source actually executed (post-optimization)."""
         return self._artifact.source
+
+    @property
+    def raw_source(self):
+        """The source as lowered, before the optimizer pipeline ran.
+
+        Equal to :attr:`source` at ``opt_level=0``.  Diffing the two
+        shows exactly what the optimizer did to this kernel.
+        """
+        return self._artifact.raw_source
+
+    @property
+    def opt_level(self):
+        return self._artifact.opt_level
 
     @property
     def instrument(self):
@@ -251,7 +270,7 @@ class KernelCache:
     """A process-wide, thread-safe LRU cache of compiled artifacts.
 
     Keys are ``(structural_key, instrument, name,
-    constant_loop_rewrite)``; values are :class:`CompiledKernel`
+    constant_loop_rewrite, opt_level)``; values are :class:`CompiledKernel`
     artifacts.  ``maxsize`` bounds the number of artifacts; the least
     recently used entry is evicted first.  ``stats()`` reports hits,
     misses, evictions, and occupancy.
@@ -335,8 +354,9 @@ def kernel_cache():
 
 
 def _compile_artifact(program, tensors, instrument, name,
-                      constant_loop_rewrite):
-    """Lower, emit, and exec one program; package the artifact."""
+                      constant_loop_rewrite, opt_level):
+    """Lower, optimize, emit, and exec one program; package the
+    artifact."""
     start = time.perf_counter()
     ctx = Context(instrument=instrument,
                   constant_loop_rewrite=constant_loop_rewrite)
@@ -365,7 +385,12 @@ def _compile_artifact(program, tensors, instrument, name,
     func = asm.FuncDef(name, params,
                        asm.Block(preamble + [body] + epilogue),
                        returns=returns)
-    source = emit(func)
+    raw_source = emit(func)
+    if opt_level > 0:
+        func = optimize_kernel(func, opt_level)
+        source = emit(func)
+    else:
+        source = raw_source
     namespace = kernel_globals()
     exec(compile(source, "<repro-kernel>", "exec"), namespace)
     plan = ctx.binding_plan()
@@ -380,6 +405,8 @@ def _compile_artifact(program, tensors, instrument, name,
         fn=namespace[name],
         name=name,
         source=source,
+        raw_source=raw_source,
+        opt_level=opt_level,
         plan=plan,
         seed_args=seed_args,
         # Pin only identity-keyed tensors: their format signatures
@@ -409,7 +436,8 @@ def _identity_pinned(tensor, signature):
 
 
 def compile_kernel(program, instrument=False, name="kernel",
-                   constant_loop_rewrite=True, cache=True):
+                   constant_loop_rewrite=True, cache=True,
+                   opt_level=None):
     """Compile one CIN program into a :class:`Kernel`.
 
     With ``cache=True`` (the default) the compiled artifact is looked
@@ -417,24 +445,34 @@ def compile_kernel(program, instrument=False, name="kernel",
     so structurally-identical programs compile once and rebind many
     times.  ``cache=False`` always compiles fresh and leaves the cache
     (and its statistics) untouched.
+
+    ``opt_level`` selects the target-IR optimizer pipeline
+    (:mod:`repro.ir.optimize`): 0 emits the lowered code untouched, 1
+    runs the scalar passes (constant folding, dead code, LICM, CSE),
+    and 2 — the default — adds dense-loop vectorization to numpy
+    slice operations.  The level is part of the cache key, so kernels
+    compiled at different levels never share an artifact.
     """
     check_program(program)
     tensors = program_tensors(program)
+    if opt_level is None:
+        opt_level = DEFAULT_OPT_LEVEL
+    opt_level = int(opt_level)
     key = None
     if cache:
         key = (structural_key(program), bool(instrument), name,
-               bool(constant_loop_rewrite))
+               bool(constant_loop_rewrite), opt_level)
         artifact = KERNEL_CACHE.lookup(key)
         if artifact is not None:
             return Kernel(artifact, tensors, program, from_cache=True)
     artifact = _compile_artifact(program, tensors, instrument, name,
-                                 constant_loop_rewrite)
+                                 constant_loop_rewrite, opt_level)
     if key is not None:
         KERNEL_CACHE.store(key, artifact)
     return Kernel(artifact, tensors, program)
 
 
-def execute(program, instrument=False, cache=True):
+def execute(program, instrument=False, cache=True, opt_level=None):
     """Compile and run a program once.
 
     Returns the op count when instrumented, else None.  Results land in
@@ -442,5 +480,5 @@ def execute(program, instrument=False, cache=True):
     executing the same program structure repeatedly pays for lowering
     only once.
     """
-    return compile_kernel(program, instrument=instrument,
-                          cache=cache).run()
+    return compile_kernel(program, instrument=instrument, cache=cache,
+                          opt_level=opt_level).run()

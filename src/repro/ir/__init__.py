@@ -14,9 +14,13 @@ from repro.ir.nodes import (
     substitute,
 )
 from repro.ir.ops import MISSING, Op, all_ops, get_op, register_op
-from repro.ir.pretty import expr_source, lhs_source
+from repro.ir.optimize import DEFAULT_OPT_LEVEL, optimize_kernel
+from repro.ir.pretty import expr_source, lhs_source, slice_source
 
 __all__ = [
+    "DEFAULT_OPT_LEVEL",
+    "optimize_kernel",
+    "slice_source",
     "asm",
     "build",
     "ops",

@@ -4,11 +4,23 @@ Lowering produces these nodes; :mod:`repro.ir.emit` renders them as
 Python source.  The AST is deliberately tiny — blocks, loops, branches,
 assignments and comments — because everything interesting happens before
 we reach it.
+
+Besides the node classes, this module provides the generic tree
+machinery the optimizer pipeline (:mod:`repro.ir.optimize`) is built
+on: a postorder statement rewriter (:func:`map_statements`), a
+per-statement expression rewriter (:func:`map_statement_exprs`), and a
+conservative effects analysis (:func:`stmt_reads`, :func:`stmt_writes`,
+:func:`stmt_stores`) that treats :class:`Raw` lines as touching every
+identifier they mention.
 """
+
+import re
 
 from repro.ir.nodes import Expr, Load, Var, as_expr
 from repro.ir.ops import Op, get_op
 from repro.util.errors import ReproError
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 
 class Stmt:
@@ -195,3 +207,142 @@ def statement_exprs(stmt):
         for cond, _ in stmt.branches:
             if isinstance(cond, Expr):
                 yield cond
+
+
+# --------------------------------------------------------------------------
+# Generic rewriting
+# --------------------------------------------------------------------------
+def map_statements(stmt, fn):
+    """Postorder statement rewrite.
+
+    Children are rebuilt first, then ``fn`` is applied to the rebuilt
+    node; ``fn`` returns a replacement statement (possibly a ``Block``
+    or ``Nop``) or ``None`` to keep the node.  Replacements are *not*
+    re-visited, so a pass can safely return trees containing nodes of
+    the kind it matches on.
+    """
+    rebuilt = _map_children(stmt, fn)
+    result = fn(rebuilt)
+    return rebuilt if result is None else result
+
+
+def _map_children(stmt, fn):
+    if isinstance(stmt, Block):
+        return Block([map_statements(child, fn) for child in stmt.stmts])
+    if isinstance(stmt, ForLoop):
+        return ForLoop(stmt.var, stmt.start, stmt.stop,
+                       map_statements(stmt.body, fn))
+    if isinstance(stmt, WhileLoop):
+        return WhileLoop(stmt.cond, map_statements(stmt.body, fn))
+    if isinstance(stmt, If):
+        branches = [(cond, map_statements(body, fn))
+                    for cond, body in stmt.branches]
+        return If(branches)
+    if isinstance(stmt, FuncDef):
+        return FuncDef(stmt.name, stmt.params,
+                       map_statements(stmt.body, fn), returns=stmt.returns)
+    return stmt
+
+
+def map_statement_exprs(stmt, fn):
+    """Rebuild one statement with ``fn`` applied to each expression.
+
+    Does not recurse into child statements (combine with
+    :func:`map_statements` for whole-tree rewrites).  Assignment
+    targets keep their ``Var``/``Load`` shape: a ``Var`` target is left
+    alone (it is a write, not a read), a ``Load`` target has only its
+    index mapped.
+    """
+    if isinstance(stmt, AssignStmt):
+        target = stmt.target
+        if isinstance(target, Load):
+            target = Load(target.buffer, fn(target.index))
+        return AssignStmt(target, fn(stmt.value))
+    if isinstance(stmt, AccumStmt):
+        target = stmt.target
+        if isinstance(target, Load):
+            target = Load(target.buffer, fn(target.index))
+        return AccumStmt(target, stmt.op, fn(stmt.value))
+    if isinstance(stmt, ForLoop):
+        return ForLoop(stmt.var, fn(stmt.start), fn(stmt.stop), stmt.body)
+    if isinstance(stmt, WhileLoop):
+        return WhileLoop(fn(stmt.cond), stmt.body)
+    if isinstance(stmt, If):
+        return If([(None if cond is None else fn(cond), body)
+                   for cond, body in stmt.branches])
+    return stmt
+
+
+# --------------------------------------------------------------------------
+# Conservative effects analysis
+# --------------------------------------------------------------------------
+def raw_identifiers(line):
+    """Every identifier mentioned in an opaque :class:`Raw` line."""
+    return set(_IDENT_RE.findall(line))
+
+
+def load_buffers(expr, out=None):
+    """Names of all buffers ``expr`` loads from."""
+    if out is None:
+        out = set()
+    if isinstance(expr, Load):
+        out.add(expr.buffer.name)
+    for child in expr.children():
+        load_buffers(child, out)
+    return out
+
+
+def stmt_reads(stmt):
+    """Variable names (including buffer names) possibly read by the
+    statement tree.  ``Raw`` lines read every identifier they mention."""
+    out = set()
+    for node in walk_statements(stmt):
+        if isinstance(node, AssignStmt):
+            out |= node.value.free_vars()
+            if isinstance(node.target, Load):
+                out.add(node.target.buffer.name)
+                out |= node.target.index.free_vars()
+        elif isinstance(node, AccumStmt):
+            out |= node.value.free_vars()
+            out |= node.target.free_vars()
+        elif isinstance(node, ForLoop):
+            out |= node.start.free_vars() | node.stop.free_vars()
+        elif isinstance(node, WhileLoop):
+            out |= node.cond.free_vars()
+        elif isinstance(node, If):
+            for cond, _ in node.branches:
+                if isinstance(cond, Expr):
+                    out |= cond.free_vars()
+        elif isinstance(node, Raw):
+            out |= raw_identifiers(node.line)
+    return out
+
+
+def stmt_writes(stmt):
+    """Scalar variable names possibly assigned by the statement tree
+    (assignment/accumulation targets, loop variables, and — to stay
+    conservative — every identifier a ``Raw`` line mentions)."""
+    out = set()
+    for node in walk_statements(stmt):
+        if isinstance(node, (AssignStmt, AccumStmt)):
+            if isinstance(node.target, Var):
+                out.add(node.target.name)
+        elif isinstance(node, ForLoop):
+            out.add(node.var.name)
+        elif isinstance(node, Raw):
+            out |= raw_identifiers(node.line)
+    return out
+
+
+def stmt_stores(stmt):
+    """Buffer names possibly stored into by the statement tree
+    (``buf[i] = ...`` targets plus every identifier in ``Raw`` lines,
+    which may call mutating methods such as ``.fill`` or ``.append``)."""
+    out = set()
+    for node in walk_statements(stmt):
+        if isinstance(node, (AssignStmt, AccumStmt)):
+            if isinstance(node.target, Load):
+                out.add(node.target.buffer.name)
+        elif isinstance(node, Raw):
+            out |= raw_identifiers(node.line)
+    return out

@@ -72,6 +72,12 @@ def _emit_accum(stmt, pad, lines):
 
 def _emit_if(stmt, depth, lines):
     pad = _INDENT * depth
+    if stmt.branches and stmt.branches[0][0] is None:
+        # Optimizer passes can prune every conditional branch ahead of
+        # an ``else``; a leading None condition is always taken, so the
+        # body inlines (the remaining branches are unreachable).
+        _emit(stmt.branches[0][1], depth, lines)
+        return
     first = True
     for cond, body in stmt.branches:
         if cond is None:

@@ -91,12 +91,25 @@ class Op:
 
 
 _REGISTRY = {}
+_REGISTRY_VERSION = 0
 
 
 def register_op(op):
     """Add ``op`` to the global registry, replacing any previous entry."""
+    global _REGISTRY_VERSION
     _REGISTRY[op.name] = op
+    _REGISTRY_VERSION += 1
     return op
+
+
+def registry_version():
+    """Monotone counter bumped by every :func:`register_op` call.
+
+    Lets caches built over the registry (the kernel runtime namespace)
+    invalidate on late op registrations instead of rebuilding on every
+    lookup.
+    """
+    return _REGISTRY_VERSION
 
 
 def get_op(name):

@@ -71,6 +71,19 @@ def _render_call(expr):
     return "%s(%s)" % (op.runtime_name, args), _ATOM_PRECEDENCE
 
 
+def slice_source(buffer, start, stop, step=1):
+    """Render ``buffer[start:stop:step]`` (step elided when 1).
+
+    Used by the optimizer's vectorization pass to address the
+    contiguous (or strided) range an affine-indexed loop touches.
+    """
+    lo = expr_source(start)
+    hi = expr_source(stop)
+    if step == 1:
+        return "%s[%s:%s]" % (buffer, lo, hi)
+    return "%s[%s:%s:%d]" % (buffer, lo, hi, step)
+
+
 def lhs_source(target):
     """Render an assignment target (a Var or a Load)."""
     if isinstance(target, Var):

@@ -2,13 +2,21 @@
 
 Compiled kernels are executed with :func:`kernel_globals` as their
 namespace, so every function here (and every registered op that renders
-as a call) is reachable from emitted source.
+as a call) is reachable from emitted source.  Vectorized kernels also
+reach numpy as ``_np`` for their slice operations.
+
+The namespace is assembled once — a frozen base of static helpers plus
+a snapshot of the op registry — and cheaply copied per ``exec``;
+late-registered ops invalidate the snapshot via the registry's version
+counter instead of forcing a full rebuild on every compile.
 """
 
 import math
 from bisect import bisect_left
 
-from repro.ir.ops import all_ops
+import numpy as np
+
+from repro.ir.ops import all_ops, registry_version
 
 
 def _coalesce(*args):
@@ -41,19 +49,36 @@ def search_ge(idx, lo, hi, key):
     return bisect_left(idx, key, lo, hi)
 
 
+#: Static helpers shared by every kernel, built once at import time.
+_STATIC_HELPERS = {
+    "_coalesce": _coalesce,
+    "_ifelse": _ifelse,
+    "_round_u8": _round_u8,
+    "_sqrt": _sqrt,
+    "search_ge": search_ge,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "_np": np,
+}
+
+_BASE_CACHE = {"version": None, "env": None}
+
+
+def _base_globals():
+    version = registry_version()
+    if _BASE_CACHE["version"] != version:
+        env = dict(_STATIC_HELPERS)
+        for op in all_ops().values():
+            if op.symbol is None and op.runtime_name not in env:
+                env[op.runtime_name] = op.fn
+        # env before version: a concurrent reader that sees the new
+        # version must also see the matching snapshot.
+        _BASE_CACHE["env"] = env
+        _BASE_CACHE["version"] = version
+    return _BASE_CACHE["env"]
+
+
 def kernel_globals():
     """Fresh namespace for ``exec``-ing one emitted kernel."""
-    env = {
-        "_coalesce": _coalesce,
-        "_ifelse": _ifelse,
-        "_round_u8": _round_u8,
-        "_sqrt": _sqrt,
-        "search_ge": search_ge,
-        "min": min,
-        "max": max,
-        "abs": abs,
-    }
-    for op in all_ops().values():
-        if op.symbol is None and op.runtime_name not in env:
-            env[op.runtime_name] = op.fn
-    return env
+    return dict(_base_globals())

@@ -138,3 +138,62 @@ class TestHigherDimensional:
         fl.execute(fl.forall(i, fl.forall(j, fl.forall(k, fl.increment(
             C[()], T[i, j, k])))))
         assert C.value == pytest.approx(t.sum())
+
+
+class TestOptLevel:
+    def test_default_keeps_both_sources(self):
+        prog, _, _, _ = simple_sum()
+        kernel = fl.compile_kernel(prog, cache=False)
+        assert kernel.opt_level == 2
+        assert kernel.raw_source != kernel.source
+        compile(kernel.raw_source, "<raw>", "exec")
+        compile(kernel.source, "<opt>", "exec")
+
+    def test_level_zero_emits_lowered_code_untouched(self):
+        prog, _, _, _ = simple_sum()
+        kernel = fl.compile_kernel(prog, cache=False, opt_level=0)
+        assert kernel.opt_level == 0
+        assert kernel.raw_source == kernel.source
+        assert "for i in range" in kernel.source
+
+    def test_levels_agree_on_results(self):
+        values = []
+        for level in (0, 1, 2):
+            prog, _, C, vec = simple_sum()
+            fl.execute(prog, opt_level=level)
+            values.append(C.value)
+        assert values[0] == values[1] == values[2] == 15.0
+
+    def test_opt_level_is_part_of_the_cache_key(self):
+        fl.kernel_cache().clear()
+        prog, _, _, _ = simple_sum()
+        plain = fl.compile_kernel(prog, opt_level=0)
+        assert not plain.from_cache
+        prog2, _, _, _ = simple_sum()
+        optimized = fl.compile_kernel(prog2, opt_level=2)
+        # Different levels never share an artifact...
+        assert not optimized.from_cache
+        assert optimized.source != plain.source
+        # ...but each level hits its own cached artifact.
+        prog3, _, _, _ = simple_sum()
+        again = fl.compile_kernel(prog3, opt_level=0)
+        assert again.from_cache
+        assert again.source == plain.source
+
+    def test_instrumented_counts_identical_across_levels(self):
+        counts = set()
+        for level in (0, 1, 2):
+            prog, _, _, _ = simple_sum()
+            counts.add(fl.execute(prog, instrument=True,
+                                  opt_level=level))
+        assert counts == {6}
+
+    def test_rebinding_works_on_optimized_kernels(self):
+        prog, A, C, vec = simple_sum()
+        kernel = fl.compile_kernel(prog, cache=False)
+        other = fl.from_numpy(vec * 10, ("dense",), name="A")
+        kernel.run()
+        assert C.value == 15.0
+        kernel.rebind(A=other)
+        kernel.run()
+        assert C.value == 150.0

@@ -35,7 +35,10 @@ def scalar_program(*factors):
 
 
 def compile_source(prog):
-    return fl.compile_kernel(prog).source
+    # These are golden tests for the *lowering* passes; compile with
+    # the optimizer off so they assert the shape lowering produced,
+    # not what the target-IR optimizer made of it afterwards.
+    return fl.compile_kernel(prog, opt_level=0).source
 
 
 class TestLookupLowering:

@@ -166,3 +166,71 @@ class TestEmit:
 
     def test_comment(self):
         assert emit(asm.Comment("hello")) == "# hello\n"
+
+
+class TestOptimizerProducedShapes:
+    """Round-trip edge cases the optimizer pipeline newly produces."""
+
+    def emitted(self, stmt):
+        return emit(stmt)
+
+    def test_leading_else_branch_inlines(self):
+        # fold_constants can prove every conditional branch false,
+        # leaving only the else: the body emits inline, unguarded.
+        stmt = asm.If([(None, asm.Block([asm.Raw("work()")]))])
+        assert self.emitted(stmt) == "work()\n"
+
+    def test_nested_if_with_pruned_branches(self):
+        inner = asm.If([(None, asm.Block([asm.Raw("inner()")]))])
+        outer = asm.If([
+            (build.lt(Var("a"), Var("b")), asm.Block([inner])),
+        ])
+        source = self.emitted(outer)
+        assert source == "if a < b:\n    inner()\n"
+        compile(source, "<test>", "exec")
+
+    def test_all_empty_if_elided(self):
+        stmt = asm.If([(build.lt(Var("a"), Var("b")), asm.Block([]))])
+        block = asm.Block([stmt, asm.Raw("after()")])
+        assert self.emitted(block) == "after()\n"
+
+    def test_hoisted_assigns_before_loop(self):
+        # LICM emits temp assignments directly ahead of the loop,
+        # inside the entry guard.
+        guard = asm.If([(build.lt(Var("a"), Var("b")), asm.Block([
+            asm.AssignStmt("w_x", Load("w", Literal(0))),
+            asm.ForLoop("i", Var("a"), Var("b"),
+                        asm.AccumStmt("acc", ops.ADD, Var("w_x"))),
+        ]))])
+        source = self.emitted(guard)
+        assert source == ("if a < b:\n"
+                          "    w_x = w[0]\n"
+                          "    for i in range(a, b):\n"
+                          "        acc += w_x\n")
+        compile(source, "<test>", "exec")
+
+    def test_raw_numpy_slice_statements(self):
+        block = asm.Block([
+            asm.Raw("out[0:8] += (x[0:8] * y[1:9])"),
+            asm.Raw("acc += _np.dot(x[a:b], y[a:b:2])"),
+        ])
+        source = self.emitted(block)
+        assert "out[0:8] += (x[0:8] * y[1:9])" in source
+        compile(source, "<test>", "exec")
+
+    def test_vectorized_kernel_namespace_has_numpy(self):
+        import numpy as np
+
+        source = ("def kernel(x, y):\n"
+                  "    return _np.dot(x[0:3], y[0:3])\n")
+        namespace = kernel_globals()
+        exec(compile(source, "<test>", "exec"), namespace)
+        result = namespace["kernel"](np.arange(3.0), np.arange(3.0))
+        assert result == 5.0
+
+    def test_slice_source_rendering(self):
+        from repro.ir.pretty import slice_source
+
+        assert slice_source("x", Literal(0), Literal(8)) == "x[0:8]"
+        assert slice_source("x", Var("a"), build.plus(Var("a"), 4),
+                            step=2) == "x[a:4 + a:2]"

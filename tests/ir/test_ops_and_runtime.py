@@ -134,3 +134,35 @@ class TestLazyIfElse:
         assert source == "(buf[n - 1] if n > 0 else 0)"
         # Executing with an empty buffer and n == 0 must not raise.
         assert eval(source, {"buf": [], "n": 0}) == 0
+
+
+class TestFrozenNamespace:
+    def test_kernel_globals_returns_fresh_copies(self):
+        first = kernel_globals()
+        first["min"] = None
+        assert kernel_globals()["min"] is min
+
+    def test_numpy_is_reachable_for_vectorized_kernels(self):
+        import numpy as np
+
+        assert kernel_globals()["_np"] is np
+
+    def test_late_registered_op_invalidates_the_snapshot(self):
+        kernel_globals()  # prime the cached base namespace
+        name = "late_snapshot_op"
+        register_op(Op(name, lambda a: a + 41, runtime_name=name))
+        try:
+            env = kernel_globals()
+            assert env[name](1) == 42
+        finally:
+            ops._REGISTRY.pop(name, None)
+            register_op(Op("_bump", lambda a: a))  # refresh version
+            ops._REGISTRY.pop("_bump", None)
+
+    def test_registry_version_bumps_on_registration(self):
+        before = ops.registry_version()
+        register_op(Op("_version_probe", lambda a: a))
+        try:
+            assert ops.registry_version() == before + 1
+        finally:
+            ops._REGISTRY.pop("_version_probe", None)

@@ -1,0 +1,557 @@
+"""Unit and golden tests for the target-IR optimizer pipeline.
+
+The unit tests drive each pass over hand-built asm trees; the golden
+tests compile real CIN programs and assert the pass actually fired on
+the emitted source (LICM and CSE on the paper's SpMSpV kernel, numpy
+vectorization on dense loops).
+"""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.bench.kernels import spmspv_program
+from repro.ir import asm, build, ops
+from repro.ir.emit import emit
+from repro.ir.nodes import Literal, Load, Var
+from repro.ir.optimize import (
+    DEFAULT_OPT_LEVEL,
+    PIPELINE,
+    can_raise,
+    dead_code,
+    eliminate_common_subexprs,
+    entry_exprs,
+    fold_constants,
+    hoist_invariants,
+    linear_parts,
+    optimize_kernel,
+    vectorize,
+)
+
+
+def func_of(*stmts, params=("buf",), returns=()):
+    return asm.FuncDef("kernel", params, asm.Block(stmts),
+                       returns=returns)
+
+
+class TestFoldConstants:
+    def test_literal_condition_prunes_branches(self):
+        stmt = asm.If([
+            (build.lt(Literal(3), Literal(1)), asm.Raw("dead()")),
+            (build.lt(Literal(1), Literal(3)), asm.Raw("live()")),
+            (None, asm.Raw("other()")),
+        ])
+        folded = fold_constants(func_of(stmt))
+        source = emit(folded)
+        assert "dead()" not in source
+        assert "live()" in source
+        assert "other()" not in source
+        assert "if" not in source  # the taken branch inlines
+
+    def test_statically_empty_loop_vanishes(self):
+        loop = asm.ForLoop("i", Literal(5), Literal(5),
+                           asm.Raw("never()"))
+        source = emit(fold_constants(func_of(loop)))
+        assert "never()" not in source
+
+    def test_unit_loop_unrolls(self):
+        loop = asm.ForLoop("i", Literal(3), Literal(4),
+                           asm.AssignStmt(Load("buf", Var("i")),
+                                          Var("i")))
+        source = emit(fold_constants(func_of(loop)))
+        assert "for" not in source
+        assert "buf[3] = 3" in source
+
+    def test_copy_propagation_feeds_simplification(self):
+        stmts = [
+            asm.AssignStmt("x", Literal(2)),
+            asm.AssignStmt("y", Var("x")),
+            asm.AssignStmt(Load("buf", Literal(0)),
+                           build.times(Var("y"), Literal(3))),
+        ]
+        source = emit(fold_constants(func_of(*stmts)))
+        assert "buf[0] = 6" in source
+
+    def test_literal_accumulation_folds_to_assignment(self):
+        stmts = [
+            asm.AssignStmt("n", Literal(0)),
+            asm.AccumStmt("n", ops.ADD, Literal(1)),
+            asm.AccumStmt("n", ops.ADD, Literal(2)),
+            asm.AssignStmt(Load("buf", Literal(0)), Var("n")),
+        ]
+        source = emit(fold_constants(func_of(*stmts)))
+        assert "buf[0] = 3" in source
+
+    def test_propagation_stops_at_reassignment_in_loop(self):
+        stmts = [
+            asm.AssignStmt("x", Literal(1)),
+            asm.WhileLoop(build.lt(Var("x"), Load("buf", Literal(0))),
+                          asm.AccumStmt("x", ops.ADD, Literal(1))),
+            asm.AssignStmt(Load("buf", Literal(1)), Var("x")),
+        ]
+        source = emit(fold_constants(func_of(*stmts)))
+        # x is mutated by the loop: the final store must read x, not 1.
+        assert "buf[1] = x" in source
+
+    def test_raw_kills_propagation(self):
+        stmts = [
+            asm.AssignStmt("x", Literal(1)),
+            asm.Raw("x += buf[0]"),
+            asm.AssignStmt(Load("buf", Literal(1)), Var("x")),
+        ]
+        source = emit(fold_constants(func_of(*stmts)))
+        assert "buf[1] = x" in source
+
+
+class TestDeadCode:
+    def test_dead_store_before_overwrite(self):
+        stmts = [
+            asm.AssignStmt("acc", Load("buf", Literal(0))),
+            asm.AssignStmt("acc", Literal(0.0)),
+            asm.AssignStmt(Load("buf", Literal(0)), Var("acc")),
+        ]
+        source = emit(dead_code(func_of(*stmts)))
+        assert source.count("acc =") == 1
+        assert "buf[0] = acc" in source
+
+    def test_trailing_dead_assign_dropped(self):
+        stmts = [
+            asm.AssignStmt(Load("buf", Literal(0)), Literal(1.0)),
+            asm.AssignStmt("leftover", Var("x")),
+        ]
+        source = emit(dead_code(func_of(*stmts)))
+        assert "leftover" not in source
+
+    def test_returned_variable_stays_live(self):
+        stmts = [asm.AssignStmt("n", Literal(7))]
+        source = emit(dead_code(func_of(*stmts, returns=("n",))))
+        assert "n = 7" in source
+
+    def test_raw_keeps_its_identifiers_live(self):
+        stmts = [
+            asm.AssignStmt("x", Literal(1)),
+            asm.Raw("buf.fill(x)"),
+        ]
+        source = emit(dead_code(func_of(*stmts)))
+        assert "x = 1" in source
+
+    def test_trailing_empty_branches_pruned(self):
+        branches = [
+            (build.lt(Var("a"), Var("b")), asm.Raw("first()")),
+            (build.lt(Var("b"), Var("a")), asm.Block([])),
+            (None, asm.Block([])),
+        ]
+        source = emit(dead_code(func_of(asm.If(branches),
+                                        params=("a", "b"))))
+        assert "first()" in source
+        # Both the empty else and the (then-trailing) empty elif go.
+        assert "else" not in source
+        assert "elif" not in source
+
+    def test_empty_middle_branch_survives(self):
+        branches = [
+            (build.lt(Var("a"), Var("b")), asm.Block([])),
+            (None, asm.Raw("fallback()")),
+        ]
+        source = emit(dead_code(func_of(asm.If(branches),
+                                        params=("a", "b"))))
+        # Dropping the empty first branch would reroute its cases into
+        # the else; it must stay, rendered with a pass body.
+        assert "if a < b:" in source
+        assert "pass" in source
+        assert "fallback()" in source
+
+    def test_accumulation_into_dead_var_dropped(self):
+        stmts = [
+            asm.AssignStmt("n", Literal(0)),
+            asm.AccumStmt("n", ops.ADD, Literal(1)),
+            asm.AssignStmt(Load("buf", Literal(0)), Literal(2.0)),
+        ]
+        source = emit(dead_code(func_of(*stmts)))
+        assert "n =" not in source
+        assert "n +=" not in source
+
+
+class TestHoistInvariants:
+    def test_invariant_load_hoists_with_guard(self):
+        loop = asm.ForLoop(
+            "i", Var("a"), Var("b"),
+            asm.AccumStmt("acc", ops.ADD,
+                          build.times(Load("w", Literal(0)),
+                                      Load("x", Var("i")))))
+        result = hoist_invariants(func_of(loop,
+                                          params=("a", "b", "w", "x")))
+        source = emit(result)
+        # The w[0] load hoists, guarded by the loop entry condition
+        # (it may be out of bounds when the loop never runs).
+        assert "if a < b:" in source
+        lines = source.splitlines()
+        hoist_line = next(line for line in lines if "= w[0]" in line)
+        loop_line = next(line for line in lines if "for i" in line)
+        assert lines.index(hoist_line) < lines.index(loop_line)
+        assert "w[0]" not in loop_line and source.count("w[0]") == 1
+
+    def test_static_bounds_need_no_guard(self):
+        loop = asm.ForLoop(
+            "i", Literal(0), Literal(8),
+            asm.AccumStmt("acc", ops.ADD,
+                          build.times(Load("w", Literal(0)),
+                                      Load("x", Var("i")))))
+        source = emit(hoist_invariants(func_of(loop, params=("w", "x"))))
+        assert "if" not in source
+        assert "= w[0]" in source
+
+    def test_mutated_inputs_do_not_hoist(self):
+        body = asm.Block([
+            asm.AccumStmt("acc", ops.ADD, Load("x", Var("q"))),
+            asm.AccumStmt("q", ops.ADD, Literal(1)),
+        ])
+        loop = asm.WhileLoop(build.lt(Var("q"), Var("n")), body)
+        source = emit(hoist_invariants(func_of(loop, params=("x", "n"))))
+        # x[q] depends on the mutated cursor: it must stay in the loop.
+        assert "x[q]" in source
+        while_at = source.index("while")
+        assert source.index("x[q]") > while_at
+
+    def test_conditionally_evaluated_load_stays_put(self):
+        body = asm.If([(build.lt(Var("i"), Var("k")),
+                        asm.AccumStmt("acc", ops.ADD,
+                                      Load("w", Literal(0))))])
+        loop = asm.ForLoop("i", Var("a"), Var("b"), body)
+        source = emit(hoist_invariants(
+            func_of(loop, params=("a", "b", "k", "w"))))
+        # w[0] only runs when i < k: hoisting would speculate the load.
+        lines = source.splitlines()
+        load_line = next(line for line in lines if "w[0]" in line)
+        assert "if i < k" in lines[lines.index(load_line) - 1]
+
+    def test_pure_arithmetic_hoists_unguarded(self):
+        loop = asm.ForLoop(
+            "j", Var("a"), Var("b"),
+            asm.AssignStmt(Load("out", build.plus(
+                build.times(Literal(8), Var("i")), Var("j"))),
+                Var("j")))
+        source = emit(hoist_invariants(
+            func_of(loop, params=("a", "b", "i", "out"))))
+        # 8 * i cannot raise: hoisted with no guard.
+        assert "if" not in source
+        assert "= 8 * i" in source
+
+
+class TestCommonSubexpressions:
+    def test_repeated_condition_shares_a_temp(self):
+        cond = build.eq(Var("p"), Var("q"))
+        stmts = [
+            asm.If([(cond, asm.AssignStmt(Load("out", Literal(0)),
+                                          Var("z")))]),
+            asm.If([(cond, asm.AccumStmt("p", ops.ADD, Literal(1)))]),
+        ]
+        source = emit(eliminate_common_subexprs(
+            func_of(*stmts, params=("p", "q", "z", "out"))))
+        assert source.count("p == q") == 1
+
+    def test_raw_body_blocks_sharing(self):
+        cond = build.eq(Var("p"), Var("q"))
+        stmts = [
+            asm.If([(cond, asm.Raw("out.append(p)"))]),
+            asm.If([(cond, asm.Raw("out.append(q)"))]),
+        ]
+        source = emit(eliminate_common_subexprs(
+            func_of(*stmts, params=("p", "q", "out"))))
+        # The Raw line mentions p, which conservatively counts as a
+        # write: the comparison must be recomputed.
+        assert source.count("p == q") == 2
+
+    def test_write_invalidates_availability(self):
+        expr = build.plus(Var("p"), Literal(1))
+        stmts = [
+            asm.AssignStmt(Load("buf", Literal(0)), expr),
+            asm.AccumStmt("p", ops.ADD, Literal(1)),
+            asm.AssignStmt(Load("buf", Literal(1)), expr),
+        ]
+        source = emit(eliminate_common_subexprs(
+            func_of(*stmts, params=("p", "buf"))))
+        # p changed between the two uses: both must recompute.
+        assert source.count("1 + p") == 2
+
+    def test_guarded_load_is_never_materialized_unconditionally(self):
+        # `(buf[n - 1] if n > 0 else 0)` twice in a block: the load
+        # lives in a lazy ifelse arm, so CSE must NOT hoist it into an
+        # unconditional temp — with n == 0 and an empty buffer that
+        # would raise where the original returns 0.
+        guarded = build.call(
+            ops.IFELSE, build.gt(Var("n"), Literal(0)),
+            Load("buf", build.minus(Var("n"), Literal(1))),
+            Literal(0.0))
+        stmts = [
+            asm.AssignStmt("x", guarded),
+            asm.AssignStmt("y", guarded),
+            asm.AssignStmt(Load("out", Literal(0)),
+                           build.plus(Var("x"), Var("y"))),
+        ]
+        func = func_of(*stmts, params=("buf", "out", "n"))
+        from repro.ir.optimize import optimize_kernel as run_pipeline
+
+        for optimized in (eliminate_common_subexprs(func),
+                          run_pipeline(func, 1), run_pipeline(func, 2)):
+            source = emit(optimized)
+            for line in source.splitlines():
+                if "buf[" in line:
+                    # The load must stay inside a conditional
+                    # expression (the guard may itself be a CSE temp).
+                    assert " if " in line, source
+        # And the emitted code really tolerates the empty-buffer case.
+        namespace = {"buf": [], "n": 0, "out": [None]}
+        exec(emit(run_pipeline(func, 2)).replace("def kernel", "def k")
+             + "k(buf, out, n)\n", namespace)
+        assert namespace["out"][0] == 0.0
+
+    def test_store_invalidates_loads_of_that_buffer(self):
+        load = Load("buf", Var("p"))
+        stmts = [
+            asm.AssignStmt("x", load),
+            asm.AssignStmt(Load("buf", Var("p")), Literal(0.0)),
+            asm.AssignStmt("y", load),
+            asm.AssignStmt(Load("out", Literal(0)),
+                           build.plus(Var("x"), Var("y"))),
+        ]
+        source = emit(eliminate_common_subexprs(
+            func_of(*stmts, params=("buf", "out", "p"))))
+        assert source.count("buf[p]") >= 3  # the load is NOT reused
+
+    def test_assignment_doubles_as_temp(self):
+        expr = build.plus(Var("p"), Var("q"))
+        stmts = [
+            asm.AssignStmt("x", expr),
+            asm.AssignStmt(Load("buf", Literal(0)),
+                           build.times(expr, Literal(2))),
+        ]
+        source = emit(eliminate_common_subexprs(
+            func_of(*stmts, params=("p", "q", "buf"))))
+        assert "x = p + q" in source
+        assert "buf[0] = 2 * x" in source
+
+
+class TestVectorize:
+    def test_elementwise_map_becomes_slice_assign(self):
+        loop = asm.ForLoop(
+            "i", Literal(0), Literal(8),
+            asm.AssignStmt(Load("out", Var("i")),
+                           build.plus(Load("x", Var("i")),
+                                      Load("y", Var("i")))))
+        source = emit(vectorize(func_of(loop,
+                                        params=("out", "x", "y"))))
+        assert "out[0:8] = (x[0:8] + y[0:8])" in source
+        assert "for" not in source
+
+    def test_reduction_becomes_dot(self):
+        loop = asm.ForLoop(
+            "i", Literal(0), Literal(16),
+            asm.AccumStmt("acc", ops.ADD,
+                          build.times(Load("x", Var("i")),
+                                      Load("y", Var("i")))))
+        source = emit(vectorize(func_of(loop, params=("x", "y"))))
+        assert "acc += _np.dot(x[0:16], y[0:16])" in source
+
+    def test_dynamic_bounds_get_a_guard(self):
+        loop = asm.ForLoop(
+            "i", Var("a"), Var("b"),
+            asm.AccumStmt("acc", ops.ADD, Load("x", Var("i"))))
+        source = emit(vectorize(func_of(loop, params=("a", "b", "x"))))
+        assert "if a < b:" in source
+        assert "_np.add.reduce(x[a:b])" in source
+
+    def test_affine_index_with_stride(self):
+        index = build.plus(build.times(Literal(2), Var("i")), Var("o"))
+        loop = asm.ForLoop(
+            "i", Literal(0), Literal(5),
+            asm.AccumStmt("acc", ops.ADD, Load("x", index)))
+        source = emit(vectorize(func_of(loop, params=("x", "o"))))
+        assert "x[o:9 + o:2]" in source
+
+    def test_counter_scales_by_trip_count(self):
+        body = asm.Block([
+            asm.AccumStmt("acc", ops.ADD, Load("x", Var("i"))),
+            asm.AccumStmt("_ops", ops.ADD, Literal(1)),
+        ])
+        loop = asm.ForLoop("i", Var("a"), Var("b"), body)
+        source = emit(vectorize(func_of(loop, params=("a", "b", "x"),
+                                        returns=("_ops",))))
+        assert "_ops += b - a" in source
+
+    def test_lazy_ops_fall_back_to_scalar_loop(self):
+        guarded = build.call(ops.IFELSE, build.lt(Var("i"), Literal(3)),
+                             Load("x", Var("i")), Literal(0.0))
+        loop = asm.ForLoop("i", Literal(0), Literal(8),
+                           asm.AccumStmt("acc", ops.ADD, guarded))
+        source = emit(vectorize(func_of(loop, params=("x",))))
+        assert "for i in range(0, 8):" in source
+
+    def test_loop_carried_dependence_bails(self):
+        loop = asm.ForLoop(
+            "i", Literal(1), Literal(8),
+            asm.AssignStmt(Load("out", Var("i")),
+                           Load("out", build.minus(Var("i"),
+                                                   Literal(1)))))
+        source = emit(vectorize(func_of(loop, params=("out",))))
+        assert "for i in range(1, 8):" in source
+
+    def test_same_cell_read_is_allowed(self):
+        loop = asm.ForLoop(
+            "i", Literal(0), Literal(8),
+            asm.AssignStmt(Load("out", Var("i")),
+                           build.times(Load("out", Var("i")),
+                                       Literal(2.0))))
+        source = emit(vectorize(func_of(loop, params=("out",))))
+        assert "out[0:8] = (2.0 * out[0:8])" in source
+
+    def test_bare_loop_variable_bails(self):
+        loop = asm.ForLoop(
+            "i", Literal(0), Literal(8),
+            asm.AccumStmt("acc", ops.ADD,
+                          build.times(Var("i"), Var("i"))))
+        source = emit(vectorize(func_of(loop, params=())))
+        assert "for i in range(0, 8):" in source
+
+
+class TestLinearParts:
+    def var_free(self, expr, var="i"):
+        return linear_parts(expr, var)
+
+    def test_plain_variable(self):
+        assert linear_parts(Var("i"), "i") == (1, Literal(0))
+
+    def test_scaled_shifted(self):
+        expr = build.plus(build.times(Literal(3), Var("i")), Var("o"))
+        coeff, base = linear_parts(expr, "i")
+        assert coeff == 3 and base == Var("o")
+
+    def test_subtraction(self):
+        expr = build.minus(Var("i"), Literal(2))
+        coeff, base = linear_parts(expr, "i")
+        assert coeff == 1 and base == Literal(-2)
+
+    def test_var_free_expression(self):
+        coeff, base = linear_parts(Var("q"), "i")
+        assert coeff == 0 and base == Var("q")
+
+    def test_nonlinear_is_rejected(self):
+        assert linear_parts(build.times(Var("i"), Var("i")), "i") is None
+        assert linear_parts(build.times(Var("i"), Var("k")), "i") is None
+
+
+class TestHelpers:
+    def test_can_raise_flags_loads_and_division(self):
+        assert can_raise(Load("x", Literal(0)))
+        assert can_raise(build.call(ops.DIV, Var("a"), Var("b")))
+        assert not can_raise(build.plus(Var("a"), Literal(1)))
+
+    def test_entry_exprs_skip_later_elif_conditions(self):
+        first = build.lt(Var("a"), Var("b"))
+        second = build.lt(Var("b"), Var("c"))
+        stmt = asm.If([(first, asm.Raw("f()")),
+                       (second, asm.Raw("g()"))])
+        assert list(entry_exprs(stmt)) == [first]
+
+    def test_pipeline_metadata(self):
+        assert "vectorize" in PIPELINE[2]
+        assert "vectorize" not in PIPELINE[1]
+        assert DEFAULT_OPT_LEVEL == 2
+
+
+class TestGoldenKernels:
+    """The passes fire on real compiled kernels (the paper's shapes)."""
+
+    def spmspv_kernel(self, **opts):
+        rng = np.random.default_rng(0)
+        mat = rng.random((8, 10))
+        mat[rng.random((8, 10)) > 0.3] = 0.0
+        vec = rng.random(10)
+        vec[rng.random(10) > 0.4] = 0.0
+        prog = spmspv_program(mat, vec, "walk_walk")[0]
+        return fl.compile_kernel(prog, cache=False, **opts)
+
+    def test_licm_fires_on_spmspv(self):
+        kernel = self.spmspv_kernel()
+        raw_lines = kernel.raw_source.splitlines()
+        opt_lines = kernel.source.splitlines()
+
+        def first_index(lines, needle):
+            return next(pos for pos, line in enumerate(lines)
+                        if needle in line)
+
+        # The x-vector's position bounds are loop-invariant: lowered
+        # code loads them inside the row loop, optimized code hoists
+        # them above it.
+        raw_for = first_index(raw_lines, "for i in range")
+        opt_for = first_index(opt_lines, "for i in range")
+        assert first_index(raw_lines, "pos_2[0]") > raw_for
+        assert first_index(opt_lines, "pos_2[0]") < opt_for
+
+    def test_cse_fires_on_spmspv(self):
+        kernel = self.spmspv_kernel()
+        # The coiteration advance re-tests `stop == stride`; CSE
+        # shares the comparison through a temp.
+        assert kernel.raw_source.count("== j_stride\n") \
+            + kernel.raw_source.count("== j_stride:") >= 2
+        assert kernel.source.count("== j_stride") \
+            < kernel.raw_source.count("== j_stride")
+
+    def test_dead_preamble_load_dropped(self):
+        a = np.arange(4.0)
+        A = fl.from_numpy(a, ("dense",), name="A")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i]))
+        kernel = fl.compile_kernel(prog, cache=False)
+        # The scalar accumulator is reset before first read: the
+        # preamble load of C_val[0] is a dead store and must go.
+        assert kernel.raw_source.count("C_val[0]") == 2
+        assert kernel.source.count("C_val[0]") == 1  # writeback only
+
+    def test_dense_dot_vectorizes_to_np_dot(self):
+        a = np.arange(32.0)
+        A = fl.from_numpy(a, ("dense",), name="A")
+        B = fl.from_numpy(a, ("dense",), name="B")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        prog = fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+        kernel = fl.compile_kernel(prog, cache=False)
+        assert "_np.dot" in kernel.source
+        assert "for" not in kernel.source
+        kernel.run()
+        assert C.value == pytest.approx(float(a @ a))
+
+    def test_level_one_hoists_but_does_not_vectorize(self):
+        a = np.arange(1.0, 5.0)
+        b = np.arange(1.0, 4.0)
+        A = fl.from_numpy(a, ("dense",), name="A")
+        B = fl.from_numpy(b, ("dense",), name="B")
+        C = fl.Scalar(name="C")
+        i, j = fl.indices("i", "j")
+        prog = fl.forall(i, fl.forall(j, fl.increment(C[()],
+                                                      A[i] * B[j])))
+        kernel = fl.compile_kernel(prog, cache=False, opt_level=1)
+        # A[i] is invariant in the j loop: hoisted, still a loop.
+        assert "val_x = val[i]" in kernel.source
+        assert "for j in range" in kernel.source
+        kernel.run()
+        assert C.value == pytest.approx(a.sum() * b.sum())
+
+    def test_instrumented_counts_survive_vectorization(self):
+        vec = np.ones(23)
+        for level in (0, 1, 2):
+            X = fl.from_numpy(vec, ("dense",), name="X")
+            s = fl.Scalar(name="s")
+            i = fl.indices("i")
+            prog = fl.forall(i, fl.increment(s[()], X[i]))
+            n = fl.execute(prog, instrument=True, opt_level=level)
+            assert n == 23
+            assert s.value == 23.0
+
+    def test_optimize_kernel_level_zero_is_identity(self):
+        loop = asm.ForLoop("i", Literal(0), Literal(4),
+                           asm.AssignStmt(Load("out", Var("i")),
+                                          Literal(1.0)))
+        func = func_of(loop, params=("out",))
+        assert optimize_kernel(func, 0) is func
