@@ -7,12 +7,20 @@ of digit images; RLE is better on noisier Omniglot-like backgrounds
 (run-summation over run pairs); dense does the most work.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
-from repro.bench.harness import Table, amortization_table, assert_amortized
+from repro.bench.harness import (
+    Table,
+    amortization_table,
+    assert_amortized,
+    throughput_table,
+)
 from repro.bench.kernels import all_pairs_similarity, all_pairs_similarity_program
+from repro.cin.analyze import program_tensors
 from repro.workloads import images
 
 FORMATS = ("dense", "sparse", "vbl", "rle")
@@ -76,6 +84,34 @@ def test_report_fig11_amortization(write_report):
                                              "vbl")[0])
     write_report("fig11_allpairs_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig11_throughput(write_report, write_json_report):
+    """Batched all-pairs throughput: one VBL kernel, many image
+    batches.
+
+    The two-statement all-pairs program is the heaviest kernel in the
+    suite, so it is the end-to-end check that the batch engine keeps
+    multi-output programs (norms, distances, and the scalar
+    accumulator) deterministic under every executor.
+    """
+    batches = [
+        images.linearized_batch("digit", COUNT, size=20, seed=seed)
+        for seed in range(8)
+    ]
+    template = all_pairs_similarity_program(batches[0], "vbl")[0]
+    datasets = [
+        program_tensors(all_pairs_similarity_program(data, "vbl")[0])
+        for data in batches
+    ]
+    workers = min(4, os.cpu_count() or 1)
+    table, payload = throughput_table(
+        "Figure 11 throughput: batched all-pairs (vbl, %d batches)"
+        % len(batches),
+        template, datasets, max_workers=workers)
+    write_report("fig11_allpairs_throughput", [table])
+    write_json_report("fig11_allpairs_throughput", payload)
+    assert payload["identical"], payload
 
 
 def test_report_fig11_optimization(write_report, write_json_report):

@@ -6,6 +6,8 @@ to the band and randomly accesses it.  We time both and compare the
 deterministic work counts.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,12 +18,16 @@ from repro.bench.harness import (
     amortization_table,
     assert_amortized,
     optimization_table,
+    throughput_table,
 )
+from repro.cin.analyze import program_tensors
 
 N = 4000
 BAND = (1700, 1780)
 LIST_NNZ = 400
 DENSE_N = 20000  # small enough for the CI smoke-perf job
+BATCH_N = 400000  # per-dataset length of the throughput batch
+BATCH_ITEMS = 8
 
 
 def make_inputs(seed=0):
@@ -138,3 +144,39 @@ def test_report_fig1_optimization(write_report, write_json_report,
     kernel = fl.compile_kernel(dense_dot_program(da, db)[0])
     assert "_np.dot" in kernel.source
     assert "_np.dot" not in kernel.raw_source
+
+
+def test_report_fig1_throughput(write_report, write_json_report):
+    """Batched dense-dot throughput across the batch executors.
+
+    The vectorized dense dot spends its time in ``_np.dot``, which
+    releases the GIL, so the thread pool must scale: on a multi-core
+    machine the threads executor has to reach at least 2x the serial
+    executor's items/sec (the CI bench-regression gate).  Outputs and
+    aggregate op counts must be identical under every executor.
+    """
+    rng = np.random.default_rng(23)
+    template, _ = dense_dot_program(rng.random(BATCH_N),
+                                    rng.random(BATCH_N))
+    datasets = [
+        program_tensors(dense_dot_program(rng.random(BATCH_N),
+                                          rng.random(BATCH_N))[0])
+        for _ in range(BATCH_ITEMS)
+    ]
+    workers = min(4, os.cpu_count() or 1)
+    table, payload = throughput_table(
+        "Figure 1 throughput: batched dense dot (n=%d, %d datasets)"
+        % (BATCH_N, BATCH_ITEMS),
+        template, datasets, max_workers=workers)
+    write_report("fig1_dot_throughput", [table])
+    write_json_report("fig1_dot_throughput", payload)
+    assert payload["identical"], payload
+    threads = payload["executors"]["threads"]
+    if workers >= 3:
+        # The CI scaling gate: GIL-releasing slice kernels must let
+        # the thread pool actually run in parallel.  2-core boxes are
+        # exempt — 2.0x there would demand perfectly linear scaling
+        # with zero pool overhead.
+        assert threads["speedup_vs_serial"] >= 2.0, payload
+    elif workers == 2:
+        assert threads["speedup_vs_serial"] >= 1.2, payload

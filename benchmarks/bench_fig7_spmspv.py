@@ -8,12 +8,21 @@ the VBL format.  The TACO-model baseline is the hand-written two-finger
 merge.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.baselines import twofinger
-from repro.bench.harness import Table, amortization_table, assert_amortized, summarize
+from repro.bench.harness import (
+    Table,
+    amortization_table,
+    assert_amortized,
+    summarize,
+    throughput_table,
+)
 from repro.bench.kernels import SPMSPV_STRATEGIES, spmspv, spmspv_program
+from repro.cin.analyze import program_tensors
 from repro.workloads import matrices
 
 N = 250
@@ -95,6 +104,33 @@ def test_report_fig7_amortization(suite, write_report):
         lambda: spmspv_program(next(mats), vec, "walk_walk")[0])
     write_report("fig7_spmspv_amortization", [table])
     assert_amortized(table)
+
+
+def test_report_fig7_throughput(suite, write_report,
+                                write_json_report):
+    """Batched SpMSpV throughput: one kernel, the whole matrix suite.
+
+    The scalar coiteration kernel holds the GIL, so this is the
+    process-pool regime: each worker rebuilds the kernel from its
+    serialized spec once and then runs every matrix it is handed.
+    Outputs and aggregate op counts must match the serial executor
+    bit for bit.
+    """
+    vec = make_x("dense10pct", seed=7)
+    mats = list(suite.values()) * 2  # 8+ datasets from the 4 matrices
+    template = spmspv_program(mats[0], vec, "walk_walk")[0]
+    datasets = [
+        program_tensors(spmspv_program(mat, vec, "walk_walk")[0])
+        for mat in mats
+    ]
+    workers = min(4, os.cpu_count() or 1)
+    table, payload = throughput_table(
+        "Figure 7 throughput: batched SpMSpV over the HB-like suite "
+        "(%d datasets)" % len(datasets),
+        template, datasets, max_workers=workers)
+    write_report("fig7_spmspv_throughput", [table])
+    write_json_report("fig7_spmspv_throughput", payload)
+    assert payload["identical"], payload
 
 
 def test_report_fig7_optimization(suite, write_report,

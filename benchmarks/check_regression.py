@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare fresh BENCH_*.json reports to baselines.
+
+The bench suite writes machine-readable payloads to
+``benchmarks/reports/BENCH_<fig>.json`` when run with ``--bench-json``.
+This script compares every committed baseline under
+``benchmarks/baselines/`` against its freshly generated counterpart and
+fails (exit code 1) when the perf trajectory regresses:
+
+* a run-time metric (``run_s``, ``wall_seconds``) got more than
+  ``--max-regression`` slower (default 0.30, i.e. 30%),
+* a speedup metric (``speedup``, ``speedup_vs_serial``) dropped by more
+  than the same fraction,
+* a deterministic op count (``total_ops``) *increased* — op counts do
+  not depend on machine speed, so any growth is a real work regression,
+* a determinism flag (``identical``, ``bit_identical``) flipped from
+  true to false, or an output deviation (``max_abs_diff``) grew past
+  tolerance,
+* an absolute speedup gate was missed (e.g. the vectorized dense dot
+  must stay at least 5x over the scalar emission), or
+* a baseline report has no fresh counterpart (the benchmark silently
+  stopped running).
+
+Fresh reports with no committed baseline are listed as warnings: commit
+them under ``benchmarks/baselines/`` to start tracking them.  To
+refresh every baseline from the current reports (after an intentional
+perf change, or on new hardware), run with ``--refresh``.
+
+Baselines are machine-specific for the wall-clock metrics; CI compares
+runner against runner, and a local refresh is required before local
+comparisons mean anything.  The op-count and determinism checks are
+machine-independent.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+#: Numeric tolerance below which ``max_abs_diff`` values are noise.
+DIFF_TOLERANCE = 1e-9
+
+#: Run-time comparisons are skipped when both sides are under this
+#: many seconds: at that scale timer/interpreter jitter dominates any
+#: real signal.  Micro-kernels stay gated through their op counts,
+#: speedups, and determinism flags, which are noise-free.
+MIN_SECONDS = 0.005
+
+#: Absolute floors applied to fresh payloads, independent of the
+#: baseline: (report name, dotted metric path, floor, gating path).
+#: When the gating path is given, the gate only applies if its value
+#: is >= MIN_GATE_WORKERS (parallel-scaling floors are unreachable on
+#: 1-2 core boxes, where the pool's own overhead eats the headroom).
+MIN_GATE_WORKERS = 3
+
+SPEEDUP_GATES = [
+    ("BENCH_fig1_dot", "dense_dot.speedup", 5.0, None),
+    (
+        "BENCH_fig1_dot_throughput",
+        "executors.threads.speedup_vs_serial",
+        2.0,
+        "executors.threads.max_workers",
+    ),
+]
+
+
+def flatten(payload, prefix=""):
+    """Flatten nested dicts/lists to ``{dotted.path: leaf_value}``."""
+    flat = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = "%s.%s" % (prefix, key) if prefix else str(key)
+            flat.update(flatten(value, path))
+    elif isinstance(payload, list):
+        for position, value in enumerate(payload):
+            path = "%s.%d" % (prefix, position) if prefix else str(position)
+            flat.update(flatten(value, path))
+    else:
+        flat[prefix] = payload
+    return flat
+
+
+def _supporting_times(flat, path):
+    """The timing values a speedup metric at ``path`` was derived
+    from: sibling ``variants.*.run_s`` entries for optimization
+    payloads, sibling ``wall_seconds`` entries (all executors) for
+    throughput payloads."""
+    if "." in path:
+        parent, leaf = path.rsplit(".", 1)
+    else:
+        parent, leaf = "", path
+    times = []
+    if leaf == "speedup":
+        prefix = parent + "." if parent else ""
+        times = [
+            value
+            for key, value in flat.items()
+            if key.startswith(prefix + "variants.") and key.endswith(".run_s")
+        ]
+    elif leaf == "speedup_vs_serial":
+        # parent is "...executors.<name>"; compare against every
+        # executor's wall time under the same "...executors." scope.
+        scope = parent.rsplit(".", 1)[0] + "." if "." in parent else ""
+        times = [
+            value
+            for key, value in flat.items()
+            if key.startswith(scope) and key.endswith(".wall_seconds")
+        ]
+    return times
+
+
+def compare_payloads(name, baseline, fresh, max_regression=0.30,
+                     min_seconds=MIN_SECONDS):
+    """Compare one baseline/fresh report pair.
+
+    Returns ``(failures, checked)``: human-readable failure strings
+    and the number of metrics that were actually compared.  Only
+    known metric leaves are compared; noisy values (compile times,
+    cache occupancy, titles) are ignored, and run-time metrics where
+    both sides sit under ``min_seconds`` are treated as unmeasurable
+    jitter.
+    """
+    failures = []
+    checked = 0
+    base_flat = flatten(baseline)
+    fresh_flat = flatten(fresh)
+    for path, base_value in sorted(base_flat.items()):
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf in ("run_s", "wall_seconds"):
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            if base_value < min_seconds and fresh_flat[path] < min_seconds:
+                continue
+            checked += 1
+            limit = base_value * (1.0 + max_regression)
+            if fresh_flat[path] > limit:
+                failures.append(
+                    "%s: %s regressed %.3gs -> %.3gs (limit %.3gs)"
+                    % (name, path, base_value, fresh_flat[path], limit)
+                )
+        elif leaf in ("speedup", "speedup_vs_serial"):
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            times = _supporting_times(base_flat, path) + _supporting_times(
+                fresh_flat, path
+            )
+            if times and any(value < min_seconds for value in times):
+                # A ratio is only trustworthy when both of its sides
+                # are measurable: one sub-floor side (e.g. a dense dot
+                # vectorized down to microseconds) makes the whole
+                # ratio jitter.  Absolute SPEEDUP_GATES still apply.
+                continue
+            checked += 1
+            floor = base_value * (1.0 - max_regression)
+            if fresh_flat[path] < floor:
+                failures.append(
+                    "%s: %s dropped %.3gx -> %.3gx (floor %.3gx)"
+                    % (name, path, base_value, fresh_flat[path], floor)
+                )
+        elif leaf == "total_ops":
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            checked += 1
+            if (
+                base_value is not None
+                and fresh_flat[path] is not None
+                and fresh_flat[path] > base_value
+            ):
+                failures.append(
+                    "%s: %s op count grew %d -> %d (machine-independent "
+                    "work regression)" % (name, path, base_value, fresh_flat[path])
+                )
+        elif leaf in ("identical", "bit_identical"):
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            checked += 1
+            if base_value and not fresh_flat[path]:
+                failures.append(
+                    "%s: %s flipped to false (executors no longer agree)"
+                    % (name, path)
+                )
+        elif leaf == "max_abs_diff":
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            checked += 1
+            limit = max(base_value, DIFF_TOLERANCE)
+            if fresh_flat[path] > limit:
+                failures.append(
+                    "%s: %s output deviation grew %.3g -> %.3g"
+                    % (name, path, base_value, fresh_flat[path])
+                )
+    return failures, checked
+
+
+def check_gates(name, fresh):
+    """Absolute speedup-gate failures for one fresh report."""
+    failures = []
+    flat = flatten(fresh)
+    for gate_name, path, floor, requires in SPEEDUP_GATES:
+        if gate_name != name:
+            continue
+        if requires is not None and flat.get(requires, 0) < MIN_GATE_WORKERS:
+            continue
+        value = flat.get(path)
+        if value is None:
+            failures.append("%s: gate metric %s missing" % (name, path))
+        elif value < floor:
+            failures.append(
+                "%s: gate miss: %s is %.3gx, floor %.3gx" % (name, path, value, floor)
+            )
+    return failures
+
+
+def report_names(directory):
+    """Sorted BENCH_*.json names (without extension) in ``directory``."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(directory)
+        if entry.startswith("BENCH_") and entry.endswith(".json")
+    )
+
+
+def load(directory, name):
+    with open(os.path.join(directory, name + ".json")) as handle:
+        return json.load(handle)
+
+
+def refresh_baselines(reports_dir, baselines_dir):
+    """Copy every fresh BENCH_*.json report over the baselines."""
+    os.makedirs(baselines_dir, exist_ok=True)
+    names = report_names(reports_dir)
+    for name in names:
+        shutil.copyfile(
+            os.path.join(reports_dir, name + ".json"),
+            os.path.join(baselines_dir, name + ".json"),
+        )
+        print("refreshed %s" % name)
+    return 0 if names else 2
+
+
+def main(argv=None):
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(
+        description="fail when committed benchmark baselines regress"
+    )
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(here, "baselines"),
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--reports",
+        default=os.path.join(here, "reports"),
+        help="directory of freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="fractional run-time/speedup tolerance (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=MIN_SECONDS,
+        help="ignore run-time metrics where both sides are under this "
+        "many seconds (timer jitter; default %g)" % MIN_SECONDS,
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="overwrite the baselines with the current reports and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.refresh:
+        return refresh_baselines(args.reports, args.baselines)
+
+    baseline_names = report_names(args.baselines)
+    fresh_names = report_names(args.reports)
+    if not baseline_names:
+        print("no baselines under %s" % args.baselines)
+        return 2
+
+    failures = []
+    compared = 0
+    for name in baseline_names:
+        if name not in fresh_names:
+            failures.append(
+                "%s: baseline has no fresh report (benchmark did not run)" % name
+            )
+            continue
+        baseline = load(args.baselines, name)
+        fresh = load(args.reports, name)
+        pair_failures, checked = compare_payloads(
+            name,
+            baseline,
+            fresh,
+            max_regression=args.max_regression,
+            min_seconds=args.min_seconds,
+        )
+        pair_failures.extend(check_gates(name, fresh))
+        compared += checked
+        status = "FAIL" if pair_failures else "ok"
+        print("%-40s %s (%d metrics)" % (name, status, checked))
+        failures.extend(pair_failures)
+    for name in fresh_names:
+        if name not in baseline_names:
+            print(
+                "%-40s new (no baseline; commit benchmarks/baselines/%s.json "
+                "to track it)" % (name, name)
+            )
+
+    if failures:
+        print("\n%d regression(s) against committed baselines:" % len(failures))
+        for failure in failures:
+            print("  - %s" % failure)
+        return 1
+    print("\nall %d compared metrics within tolerance" % compared)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

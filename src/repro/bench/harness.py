@@ -26,6 +26,14 @@ data: it reports per-variant compile and run times, the run-time
 speedup, and the largest output deviation, plus a JSON-ready payload
 dict so the perf trajectory is machine-readable across PRs (see the
 ``--bench-json`` flag in ``benchmarks/conftest.py``).
+
+Since the batch execution engine landed, :func:`throughput_table`
+maps one compiled kernel over many datasets under each batch executor
+(serial / threads / processes; see :mod:`repro.exec`) and reports
+items/sec, scaling efficiency vs serial, and the cross-executor
+determinism check (bit-identical outputs, identical aggregate op
+counts).  Its payloads feed the same ``BENCH_*.json`` trajectory,
+gated per-PR by ``benchmarks/check_regression.py``.
 """
 
 import time
@@ -33,6 +41,7 @@ import time
 import numpy as np
 
 from repro.compiler.kernel import compile_kernel, kernel_cache
+from repro.exec import KernelPool
 
 
 class Table:
@@ -184,6 +193,83 @@ def optimization_table(title, make_program, repeats=3, **compile_opts):
         "cache": kernel_cache().stats(),
     }
     return table, payload
+
+
+def throughput_table(title, program, datasets, executors=(
+        "serial", "threads", "processes"), max_workers=None,
+        repeats=3, instrument=True, **compile_opts):
+    """Batched-throughput comparison across batch executors.
+
+    Compiles ``program`` once and maps it over ``datasets`` (see
+    :func:`repro.exec.run_batch` for the dataset forms) under each
+    executor, timing the whole batch.  Columns report items/sec, the
+    speedup over the serial executor, and scaling *efficiency*
+    (speedup divided by worker count); with ``instrument=True`` (the
+    default) the table also shows each executor's aggregate op count,
+    which must not depend on how the batch was sharded.
+
+    Returns ``(table, payload)``.  The JSON-ready ``payload`` carries
+    per-executor wall seconds, items/sec, speedup, efficiency, and op
+    totals, plus ``identical`` — True when every executor produced
+    bit-identical output snapshots and the same total op count as the
+    baseline (serial when present, else the first executor).
+    """
+    kernel = compile_kernel(program, instrument=instrument,
+                            **compile_opts)
+    table = Table(title, ["executor", "workers", "seconds", "items/s",
+                          "vs serial", "efficiency", "ops"])
+    payload = {"title": title, "items": len(datasets),
+               "executors": {}, "identical": True}
+    baseline_name = "serial" if "serial" in executors else executors[0]
+    measured = {}
+    for executor in executors:
+        with KernelPool(kernel, executor=executor,
+                        max_workers=max_workers) as pool:
+            best = None
+            for _ in range(repeats):
+                result = pool.map(datasets)
+                if best is None or result.wall_seconds < best.wall_seconds:
+                    best = result
+        measured[executor] = best
+    baseline = measured[baseline_name]
+    baseline_rate = baseline.items_per_second
+    for executor in executors:
+        result = measured[executor]
+        rate = result.items_per_second
+        boost = rate / baseline_rate if baseline_rate > 0 else float("inf")
+        efficiency = boost / result.max_workers
+        same = _same_outputs(baseline, result)
+        if not same:
+            payload["identical"] = False
+        table.add(executor, result.max_workers, result.wall_seconds,
+                  rate, boost, efficiency,
+                  result.total_ops if instrument else "-")
+        payload["executors"][executor] = {
+            "max_workers": result.max_workers,
+            "wall_seconds": result.wall_seconds,
+            "items_per_s": rate,
+            "speedup_vs_serial": boost,
+            "efficiency": efficiency,
+            "total_ops": result.total_ops,
+            "bit_identical": same,
+        }
+    return table, payload
+
+
+def _same_outputs(baseline, result):
+    """True when two batch results carry bit-identical output
+    snapshots and equal aggregate op counts."""
+    if baseline.total_ops != result.total_ops:
+        return False
+    for left_item, right_item in zip(baseline.items, result.items):
+        if len(left_item.outputs) != len(right_item.outputs):
+            return False
+        for left, right in zip(left_item.outputs, right_item.outputs):
+            if (left.dtype != right.dtype
+                    or left.shape != right.shape
+                    or left.tobytes() != right.tobytes()):
+                return False
+    return True
 
 
 def assert_amortized(table):

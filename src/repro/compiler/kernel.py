@@ -67,7 +67,28 @@ from repro.ir import asm, emit
 from repro.ir.nodes import Literal, Load
 from repro.ir.optimize import DEFAULT_OPT_LEVEL, optimize_kernel
 from repro.ir.runtime import kernel_globals
-from repro.util.errors import BindingError
+from repro.util.errors import BindingError, SpecError
+
+#: Version tag of the serialized-artifact format (see
+#: :meth:`CompiledKernel.to_spec`); bumped whenever the spec layout
+#: changes incompatibly.
+SPEC_VERSION = 1
+
+
+def _plain(value):
+    """``value`` with nested tuples rewritten as lists (JSON-safe)."""
+    if isinstance(value, tuple):
+        return [_plain(item) for item in value]
+    if isinstance(value, list):
+        return [_plain(item) for item in value]
+    return value
+
+
+def _frozen(value):
+    """The inverse of :func:`_plain`: nested lists back to tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_frozen(item) for item in value)
+    return value
 
 
 class CompiledKernel:
@@ -81,11 +102,12 @@ class CompiledKernel:
 
     __slots__ = ("fn", "name", "source", "raw_source", "opt_level",
                  "plan", "seed_args", "seed_tensors", "signatures",
-                 "alias_groups", "instrument", "compile_seconds")
+                 "alias_groups", "instrument", "compile_seconds",
+                 "structural_key")
 
     def __init__(self, fn, name, source, raw_source, opt_level, plan,
                  seed_args, seed_tensors, signatures, alias_groups,
-                 instrument, compile_seconds):
+                 instrument, compile_seconds, structural_key=None):
         self.fn = fn
         self.name = name
         self.source = source
@@ -98,14 +120,92 @@ class CompiledKernel:
         self.alias_groups = alias_groups
         self.instrument = instrument
         self.compile_seconds = compile_seconds
+        self.structural_key = structural_key
 
-    def bind(self, tensors):
-        """Positional kernel arguments for ``tensors`` (one per slot).
+    def to_spec(self):
+        """The artifact as a plain, JSON-serializable dict.
 
-        Validates format signatures and the buffer-aliasing pattern,
-        then resolves every plan entry to the new tensor's buffer.
+        The spec carries everything a fresh process needs to rebuild
+        an equivalent artifact — the optimized source, the binding
+        plan, the per-slot format signatures, and the structural key —
+        but never the compiled function object or any bound data.
+        :meth:`from_spec` re-``exec``\\ s the source on the other side,
+        so the function itself never crosses a process boundary.
+
+        Raises :class:`~repro.util.errors.SpecError` for kernels that
+        cannot leave the process: those whose binding plan pins
+        compile-time buffers (custom formats binding arrays outside
+        the tensor protocol) and those whose signatures are keyed by
+        object identity (opaque tensors).
         """
-        tensors = list(tensors)
+        if any(entry is None for entry in self.plan):
+            raise SpecError(
+                "kernel %r binds buffers outside the tensor protocol "
+                "(a custom format called ctx.buffer directly); such "
+                "kernels are pinned to their compile-time data and "
+                "cannot be serialized" % self.name)
+        if self.seed_tensors:
+            raise SpecError(
+                "kernel %r has identity-keyed tensor signatures; an "
+                "identity cannot be rebuilt in another process, so "
+                "the artifact cannot be serialized" % self.name)
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "source": self.source,
+            "raw_source": self.raw_source,
+            "opt_level": self.opt_level,
+            "plan": _plain(self.plan),
+            "signatures": _plain(self.signatures),
+            "alias_groups": _plain(self.alias_groups),
+            "instrument": self.instrument,
+            "compile_seconds": self.compile_seconds,
+            "structural_key": _plain(self.structural_key),
+        }
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Rebuild an artifact from :meth:`to_spec` output.
+
+        Re-``exec``\\ s the serialized source against a fresh kernel
+        namespace (the only non-declarative step), and freezes the
+        plan/signature lists back into the tuple forms ``bind``
+        compares against.  The result is rebindable to any tensors
+        whose signatures match, exactly like the original.
+        """
+        version = spec.get("spec_version")
+        if version != SPEC_VERSION:
+            raise SpecError(
+                "kernel spec version %r is not supported (expected %d)"
+                % (version, SPEC_VERSION))
+        namespace = kernel_globals()
+        exec(compile(spec["source"], "<repro-kernel-spec>", "exec"),
+             namespace)
+        plan = _frozen(spec["plan"])
+        return cls(
+            fn=namespace[spec["name"]],
+            name=spec["name"],
+            source=spec["source"],
+            raw_source=spec["raw_source"],
+            opt_level=spec["opt_level"],
+            plan=plan,
+            seed_args=(None,) * len(plan),
+            seed_tensors=(),
+            signatures=_frozen(spec["signatures"]),
+            alias_groups=_frozen(spec["alias_groups"]),
+            instrument=spec["instrument"],
+            compile_seconds=spec["compile_seconds"],
+            structural_key=_frozen(spec["structural_key"]),
+        )
+
+    def validate(self, tensors):
+        """Check that ``tensors`` fill every slot with matching format
+        signatures; raises :class:`BindingError` otherwise.
+
+        The shared fail-fast half of :meth:`bind`, also used by the
+        batch engine to reject bad datasets before dispatching any
+        work.
+        """
         if len(tensors) != len(self.signatures):
             raise BindingError(
                 "kernel has %d tensor slots, got %d tensors"
@@ -119,6 +219,15 @@ class CompiledKernel:
                     "the compiled kernel's %r"
                     % (slot, getattr(tensor, "name", "?"), actual,
                        expected))
+
+    def bind(self, tensors):
+        """Positional kernel arguments for ``tensors`` (one per slot).
+
+        Validates format signatures and the buffer-aliasing pattern,
+        then resolves every plan entry to the new tensor's buffer.
+        """
+        tensors = list(tensors)
+        self.validate(tensors)
         roles = [tensor_binding_buffers(tensor) for tensor in tensors]
         for group in self.alias_groups:
             distinct = {id(roles[slot][role]) for slot, role in group}
@@ -166,6 +275,16 @@ class Kernel:
             for out in output_tensors(program))
 
     @property
+    def artifact(self):
+        """The shared :class:`CompiledKernel` behind this view."""
+        return self._artifact
+
+    def to_spec(self):
+        """Serialize the underlying artifact; see
+        :meth:`CompiledKernel.to_spec`."""
+        return self._artifact.to_spec()
+
+    @property
     def source(self):
         """The emitted source actually executed (post-optimization)."""
         return self._artifact.source
@@ -191,6 +310,11 @@ class Kernel:
     def compile_seconds(self):
         """Wall-clock seconds spent lowering/emitting this artifact."""
         return self._artifact.compile_seconds
+
+    @property
+    def output_slots(self):
+        """Slot positions of the output tensors, in first-write order."""
+        return self._output_slots
 
     @property
     def outputs(self):
@@ -242,28 +366,41 @@ class Kernel:
 
     def _with_overrides(self, mapping):
         """The slot list with named slots replaced."""
-        by_name = {}
-        for slot, tensor in enumerate(self._tensors):
-            by_name.setdefault(getattr(tensor, "name", None),
-                               []).append(slot)
-        tensors = list(self._tensors)
-        for name, replacement in mapping.items():
-            slots = by_name.get(name, [])
-            if not slots:
-                raise BindingError(
-                    "no tensor named %r bound by this kernel (have: %s)"
-                    % (name, ", ".join(sorted(
-                        str(n) for n in by_name))))
-            if len(slots) > 1:
-                raise BindingError(
-                    "tensor name %r is bound to %d slots; rebind with "
-                    "a full tensor sequence instead"
-                    % (name, len(slots)))
-            tensors[slots[0]] = replacement
-        return tensors
+        return resolve_name_overrides(self._tensors, mapping)
 
     def __call__(self, **overrides):
         return self.run(**overrides)
+
+
+def resolve_name_overrides(template, mapping):
+    """``template`` (a slot-ordered tensor list) with named slots
+    replaced per ``mapping``.
+
+    Shared by :meth:`Kernel.rebind`/:meth:`Kernel.run` overrides and
+    the batch engine's per-dataset resolution
+    (:func:`repro.exec.batch.run_batch`): a name must resolve to
+    exactly one slot, otherwise a full slot-ordered sequence is
+    required.
+    """
+    by_name = {}
+    for slot, tensor in enumerate(template):
+        by_name.setdefault(getattr(tensor, "name", None),
+                           []).append(slot)
+    tensors = list(template)
+    for name, replacement in mapping.items():
+        slots = by_name.get(name, [])
+        if not slots:
+            raise BindingError(
+                "no tensor named %r bound by this kernel (have: %s)"
+                % (name, ", ".join(sorted(
+                    str(n) for n in by_name))))
+        if len(slots) > 1:
+            raise BindingError(
+                "tensor name %r is bound to %d slots; rebind with "
+                "a full tensor sequence instead"
+                % (name, len(slots)))
+        tensors[slots[0]] = replacement
+    return tensors
 
 
 class KernelCache:
@@ -354,7 +491,8 @@ def kernel_cache():
 
 
 def _compile_artifact(program, tensors, instrument, name,
-                      constant_loop_rewrite, opt_level):
+                      constant_loop_rewrite, opt_level,
+                      structural_key=None):
     """Lower, optimize, emit, and exec one program; package the
     artifact."""
     start = time.perf_counter()
@@ -419,6 +557,7 @@ def _compile_artifact(program, tensors, instrument, name,
         alias_groups=buffer_alias_groups(tensors),
         instrument=instrument,
         compile_seconds=time.perf_counter() - start,
+        structural_key=structural_key,
     )
 
 
@@ -458,15 +597,17 @@ def compile_kernel(program, instrument=False, name="kernel",
     if opt_level is None:
         opt_level = DEFAULT_OPT_LEVEL
     opt_level = int(opt_level)
+    skey = structural_key(program)
     key = None
     if cache:
-        key = (structural_key(program), bool(instrument), name,
+        key = (skey, bool(instrument), name,
                bool(constant_loop_rewrite), opt_level)
         artifact = KERNEL_CACHE.lookup(key)
         if artifact is not None:
             return Kernel(artifact, tensors, program, from_cache=True)
     artifact = _compile_artifact(program, tensors, instrument, name,
-                                 constant_loop_rewrite, opt_level)
+                                 constant_loop_rewrite, opt_level,
+                                 structural_key=skey)
     if key is not None:
         KERNEL_CACHE.store(key, artifact)
     return Kernel(artifact, tensors, program)

@@ -1,0 +1,25 @@
+"""Batched parallel execution of compiled kernels.
+
+``run_batch`` maps one compiled program over many independent
+datasets under a serial, thread-pool, or process-pool executor;
+``KernelPool`` is the reusable engine underneath.  Process workers
+receive serialized kernel *specs*
+(:meth:`repro.compiler.kernel.CompiledKernel.to_spec`), never live
+function objects.  See :mod:`repro.exec.batch` for the semantics.
+"""
+
+from repro.exec.batch import (
+    EXECUTORS,
+    BatchItem,
+    BatchResult,
+    KernelPool,
+    run_batch,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "BatchItem",
+    "BatchResult",
+    "KernelPool",
+    "run_batch",
+]

@@ -1,0 +1,402 @@
+"""Batched parallel execution: one compiled kernel, many datasets.
+
+The paper's compile-once/coiterate-fast design makes the *artifact*
+the expensive object and the data cheap to swap (PR 1's binding plan).
+This module completes that story for throughput: :func:`run_batch`
+maps a single :class:`~repro.compiler.kernel.CompiledKernel` over many
+independent datasets concurrently, and :class:`KernelPool` is the
+reusable engine underneath it.
+
+Three executors share one semantics::
+
+    serial      in-process loop (the reference; also the baseline the
+                benchmark harness measures scaling against)
+    threads     a ThreadPoolExecutor; right for ``opt_level=2``
+                kernels whose time is spent in GIL-releasing numpy
+                slice operations
+    processes   a ProcessPoolExecutor; right for scalar coiteration
+                kernels that hold the GIL.  Workers receive the
+                kernel's serialized *spec* (never the function
+                object) and re-``exec`` it once per worker — see
+                :mod:`repro.exec.worker`.
+
+Every executor returns the same :class:`BatchResult`: per-dataset
+output snapshots in dataset order, per-dataset instrumented op counts,
+and per-worker statistics that aggregate deterministically (the total
+op count of a batch is identical across executors — concurrency moves
+work, it never changes it).
+
+Datasets are either full slot-ordered tensor sequences or name ->
+tensor mappings applied over the kernel's bound template.  They are
+validated *before* any dispatch: format signatures must match the
+artifact, and each dataset must carry its own output tensors (shared
+output buffers would race under the parallel executors).  Failures
+inside a worker propagate as
+:class:`~repro.util.errors.BatchExecutionError` with the index of the
+dataset that raised.
+
+Only the serial and threads executors mutate the caller's dataset
+tensors in place (they run in-process); the processes executor leaves
+them untouched and returns snapshots only.  Code that needs the
+results should read them off the :class:`BatchResult`, which behaves
+identically everywhere.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.cin.analyze import tensor_binding_buffers
+from repro.compiler.kernel import compile_kernel, resolve_name_overrides
+from repro.exec import worker as _worker
+from repro.util.errors import BatchExecutionError, BindingError
+
+#: The executor names :func:`run_batch` accepts.
+EXECUTORS = ("serial", "threads", "processes")
+
+
+class BatchItem:
+    """The result of running one dataset of a batch."""
+
+    __slots__ = ("index", "outputs", "ops", "worker", "seconds")
+
+    def __init__(self, index, outputs, ops, worker, seconds):
+        self.index = index
+        self.outputs = outputs
+        self.ops = ops
+        self.worker = worker
+        self.seconds = seconds
+
+    def __repr__(self):
+        return ("BatchItem(index=%d, ops=%r, worker=%r)"
+                % (self.index, self.ops, self.worker))
+
+
+class BatchResult:
+    """All per-dataset results of one :meth:`KernelPool.map` call.
+
+    Items are always in dataset order regardless of completion order.
+    ``outputs`` flattens to one snapshot list per dataset;
+    ``total_ops`` sums the instrumented op counts (None when the
+    kernel was not instrumented); ``stats`` is the pool's cumulative
+    per-worker statistics snapshot taken when the batch finished.
+    """
+
+    def __init__(self, items, executor, max_workers, wall_seconds,
+                 stats=None):
+        self.items = sorted(items, key=lambda item: item.index)
+        self.executor = executor
+        self.max_workers = max_workers
+        self.wall_seconds = wall_seconds
+        self.stats = stats or {}
+
+    @property
+    def outputs(self):
+        """Output snapshots, one list of arrays per dataset."""
+        return [item.outputs for item in self.items]
+
+    @property
+    def total_ops(self):
+        """Summed instrumented op count, or None when uninstrumented."""
+        if any(item.ops is None for item in self.items):
+            return None
+        return sum(item.ops for item in self.items)
+
+    @property
+    def items_per_second(self):
+        """Batch throughput: datasets completed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf") if self.items else 0.0
+        return len(self.items) / self.wall_seconds
+
+    def __len__(self):
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def __repr__(self):
+        return ("BatchResult(%d items, executor=%r, %.3fs)"
+                % (len(self.items), self.executor, self.wall_seconds))
+
+
+class KernelPool:
+    """A reusable executor mapping one kernel over dataset batches.
+
+    Wraps a bound :class:`~repro.compiler.kernel.Kernel` plus a worker
+    pool of the chosen kind; :meth:`map` may be called any number of
+    times and the underlying pool (and, for processes, each worker's
+    rebuilt artifact) is reused across calls.  Use as a context
+    manager or call :meth:`close` to release the workers.
+
+    Per-worker statistics accumulate over the pool's lifetime:
+    ``stats()`` reports runs, instrumented op totals, wall seconds,
+    and spec rebuilds (how many times a process worker had to
+    re-``exec`` the kernel source) per worker and in aggregate.
+    """
+
+    def __init__(self, kernel, executor="threads", max_workers=None):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                "unknown executor %r (choose from %s)"
+                % (executor, ", ".join(EXECUTORS)))
+        self._kernel = kernel
+        self._artifact = kernel.artifact
+        self._output_slots = tuple(kernel.output_slots)
+        self.executor = executor
+        if executor == "serial":
+            self.max_workers = 1
+        else:
+            self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._pool = None
+        self._spec = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._worker_stats = {}
+        self._thread_ids = threading.local()
+        self._thread_counter = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self):
+        """Shut the worker pool down; the pool cannot map afterwards."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("KernelPool is closed")
+            if self._pool is None:
+                if self.executor == "threads":
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers)
+                elif self.executor == "processes":
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.max_workers)
+            return self._pool
+
+    def _ensure_spec(self):
+        """The serialized artifact for process workers (memoized)."""
+        with self._lock:
+            if self._spec is None:
+                self._spec = self._artifact.to_spec()
+            return self._spec
+
+    # -- statistics ----------------------------------------------------
+    def _record(self, worker, ops, seconds, spec_rebuild):
+        with self._stats_lock:
+            entry = self._worker_stats.setdefault(
+                worker, {"runs": 0, "ops": 0, "seconds": 0.0,
+                         "spec_rebuilds": 0})
+            entry["runs"] += 1
+            entry["ops"] += ops or 0
+            entry["seconds"] += seconds
+            entry["spec_rebuilds"] += 1 if spec_rebuild else 0
+
+    def stats(self):
+        """Cumulative per-worker and aggregate execution statistics.
+
+        The aggregate ``ops`` total is deterministic: for an
+        instrumented kernel it equals the sum of every dataset's op
+        count, identical no matter which executor ran the batch or how
+        the datasets were sharded over workers.
+        """
+        with self._stats_lock:
+            workers = {name: dict(entry)
+                       for name, entry in self._worker_stats.items()}
+        return {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "runs": sum(e["runs"] for e in workers.values()),
+            "ops": sum(e["ops"] for e in workers.values()),
+            "spec_rebuilds": sum(e["spec_rebuilds"]
+                                 for e in workers.values()),
+            "workers": workers,
+        }
+
+    def _thread_worker_id(self):
+        wid = getattr(self._thread_ids, "worker_id", None)
+        if wid is None:
+            with self._stats_lock:
+                wid = "thread-%d" % self._thread_counter
+                self._thread_counter += 1
+            self._thread_ids.worker_id = wid
+        return wid
+
+    # -- dataset resolution --------------------------------------------
+    def _resolve(self, datasets):
+        """Slot-ordered, signature-checked tensor lists, one per
+        dataset; rejects bad datasets before any work is dispatched."""
+        template = self._kernel.tensors
+        resolved = []
+        for index, dataset in enumerate(datasets):
+            try:
+                if isinstance(dataset, dict):
+                    tensors = resolve_name_overrides(template, dataset)
+                else:
+                    tensors = list(dataset)
+                self._artifact.validate(tensors)
+            except BindingError as exc:
+                raise BindingError("dataset %d: %s" % (index, exc))
+            resolved.append(tensors)
+        self._check_output_isolation(resolved)
+        return resolved
+
+    def _check_output_isolation(self, resolved):
+        """No dataset may touch a buffer another dataset writes.
+
+        Two datasets sharing an *output* buffer would overwrite each
+        other, and a dataset *reading* a buffer another dataset writes
+        races under the parallel executors — either way the batch
+        stops being order-independent, so both are rejected.  Sharing
+        read-only inputs between datasets stays allowed.
+        """
+        if len(resolved) < 2:
+            return
+
+        def buffer_ids(tensor):
+            buffers = tensor_binding_buffers(tensor)
+            return ([id(buf) for buf in buffers.values()]
+                    or [id(tensor)])
+
+        writers = {}  # id(buffer) -> dataset index that writes it
+        for index, tensors in enumerate(resolved):
+            for slot in self._output_slots:
+                for buf_id in buffer_ids(tensors[slot]):
+                    other = writers.setdefault(buf_id, index)
+                    if other != index:
+                        raise BindingError(
+                            "datasets %d and %d share an output "
+                            "buffer (slot %d, tensor %r); give every "
+                            "dataset its own output tensor"
+                            % (other, index, slot,
+                               getattr(tensors[slot], "name", "?")))
+        output_slots = set(self._output_slots)
+        for index, tensors in enumerate(resolved):
+            for slot, tensor in enumerate(tensors):
+                if slot in output_slots:
+                    continue
+                for buf_id in buffer_ids(tensor):
+                    writer = writers.get(buf_id)
+                    if writer is not None and writer != index:
+                        raise BindingError(
+                            "dataset %d reads a buffer (slot %d, "
+                            "tensor %r) that dataset %d writes; the "
+                            "batch would not be order-independent"
+                            % (index, slot,
+                               getattr(tensor, "name", "?"), writer))
+
+    # -- execution -----------------------------------------------------
+    def _run_local(self, index, tensors, worker_id):
+        start = time.perf_counter()
+        try:
+            args = self._artifact.bind(tensors)
+            result = self._artifact.fn(*args)
+            outputs = [_worker.snapshot_tensor(tensors[slot])
+                       for slot in self._output_slots]
+        except Exception as exc:
+            raise BatchExecutionError(index, exc) from exc
+        # Normalize numpy counter values so op totals stay plain ints.
+        ops = int(result) if self._artifact.instrument else None
+        seconds = time.perf_counter() - start
+        self._record(worker_id, ops, seconds, spec_rebuild=False)
+        return BatchItem(index, outputs, ops, worker_id, seconds)
+
+    def _run_threaded(self, index, tensors):
+        return self._run_local(index, tensors,
+                               self._thread_worker_id())
+
+    def map(self, datasets):
+        """Run every dataset; returns a :class:`BatchResult`.
+
+        Datasets run concurrently under the pool's executor, results
+        come back in dataset order, and the first failing dataset (in
+        index order) raises a
+        :class:`~repro.util.errors.BatchExecutionError` carrying its
+        index.
+        """
+        resolved = self._resolve(list(datasets))
+        start = time.perf_counter()
+        if not resolved:
+            return BatchResult([], self.executor, self.max_workers,
+                               0.0, stats=self.stats())
+        if self.executor == "serial":
+            items = [self._run_local(index, tensors, "serial-0")
+                     for index, tensors in enumerate(resolved)]
+        elif self.executor == "threads":
+            pool = self._ensure_pool()
+            futures = [pool.submit(self._run_threaded, index, tensors)
+                       for index, tensors in enumerate(resolved)]
+            items = [future.result() for future in futures]
+        else:
+            items = self._map_processes(resolved)
+        wall = time.perf_counter() - start
+        return BatchResult(items, self.executor, self.max_workers,
+                           wall, stats=self.stats())
+
+    def _map_processes(self, resolved):
+        spec = self._ensure_spec()
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker.run_spec_task, spec, tensors, index,
+                        self._output_slots)
+            for index, tensors in enumerate(resolved)
+        ]
+        items = []
+        for index, future in enumerate(futures):
+            try:
+                payload = future.result()
+            except BatchExecutionError:
+                raise
+            except Exception as exc:
+                # The worker's exception (or a pickling failure on the
+                # way in) arrives bare; attach the dataset index.
+                raise BatchExecutionError(index, exc) from exc
+            item = BatchItem(payload["index"], payload["outputs"],
+                             payload["ops"], payload["worker"],
+                             payload["seconds"])
+            self._record(item.worker, item.ops, item.seconds,
+                         payload["spec_rebuild"])
+            items.append(item)
+        return items
+
+
+def run_batch(program, datasets, executor="serial", max_workers=None,
+              instrument=False, opt_level=None, cache=True):
+    """Compile ``program`` once and map it over ``datasets``.
+
+    ``datasets`` is a sequence where each element is either a name ->
+    tensor mapping (replacing the program's tensors by name, exactly
+    like :meth:`~repro.compiler.kernel.Kernel.rebind`) or a full
+    slot-ordered tensor sequence.  ``executor`` picks the concurrency
+    model (``"serial"``, ``"threads"``, or ``"processes"``; see the
+    module docstring for guidance) and ``max_workers`` bounds the pool
+    (default: the machine's CPU count).
+
+    Returns a :class:`BatchResult` whose per-dataset output snapshots
+    and instrumented op counts are identical across executors.  For a
+    standing service that maps many batches through one kernel, build
+    a :class:`KernelPool` directly and reuse it.
+    """
+    kernel = compile_kernel(program, instrument=instrument,
+                            cache=cache, opt_level=opt_level)
+    with KernelPool(kernel, executor=executor,
+                    max_workers=max_workers) as pool:
+        return pool.map(datasets)

@@ -1,0 +1,87 @@
+"""Process-pool worker side of the batch engine.
+
+A worker process never receives a compiled function object — function
+objects do not pickle, and shipping code objects across process
+boundaries would tie the pool to one interpreter state.  Instead each
+task carries the kernel's *spec* (see
+:meth:`repro.compiler.kernel.CompiledKernel.to_spec`): the optimized
+source, the binding plan, and the per-slot format signatures.  The
+worker re-``exec``\\ s the source once, memoizes the rebuilt artifact
+in a per-process cache, and binds it to each incoming dataset.
+
+Everything here must stay importable at module top level so
+``concurrent.futures.ProcessPoolExecutor`` can pickle task references
+under any start method (fork, spawn, forkserver).
+"""
+
+import os
+import time
+
+import numpy as np
+
+#: Per-process memo of rebuilt artifacts, keyed by the spec's identity.
+#: One worker re-``exec``\\ s each distinct kernel at most once, no
+#: matter how many datasets of that kernel it is handed.
+_ARTIFACTS = {}
+
+
+def _spec_key(spec):
+    """A hashable identity for one serialized artifact."""
+    return (spec["name"], spec["source"], repr(spec["plan"]),
+            spec["instrument"], spec["opt_level"])
+
+
+def artifact_from_spec(spec):
+    """The rebuilt artifact for ``spec``, memoized per process.
+
+    Returns ``(artifact, cached)`` where ``cached`` says whether the
+    re-``exec`` was skipped (the per-worker artifact cache hit).
+    """
+    from repro.compiler.kernel import CompiledKernel
+
+    key = _spec_key(spec)
+    artifact = _ARTIFACTS.get(key)
+    if artifact is not None:
+        return artifact, True
+    artifact = CompiledKernel.from_spec(spec)
+    _ARTIFACTS[key] = artifact
+    return artifact, False
+
+
+def snapshot_tensor(tensor):
+    """A detached numpy copy of one output tensor's current value.
+
+    Densifies through ``to_numpy`` when the tensor supports it (real
+    tensors and output builders), falling back to the scalar ``value``
+    protocol.  Snapshots — not live buffers — are what crosses back
+    over the process boundary, so results compare bit-identically
+    across executors.
+    """
+    to_numpy = getattr(tensor, "to_numpy", None)
+    if to_numpy is not None:
+        return np.array(to_numpy(), copy=True)
+    return np.asarray(tensor.value)
+
+
+def run_spec_task(spec, tensors, index, output_slots):
+    """Run one dataset against a spec-rebuilt kernel (worker entry).
+
+    Returns a plain result dict (index, output snapshots, op count,
+    worker id, seconds, artifact-cache flag) — everything the parent
+    needs to assemble a :class:`repro.exec.batch.BatchItem`.
+    """
+    start = time.perf_counter()
+    artifact, cached = artifact_from_spec(spec)
+    args = artifact.bind(tensors)
+    result = artifact.fn(*args)
+    outputs = [snapshot_tensor(tensors[slot]) for slot in output_slots]
+    return {
+        "index": index,
+        "outputs": outputs,
+        # Trip-count-scaled counters can come back as numpy ints;
+        # normalize so op totals stay plain (and JSON-safe) ints.
+        "ops": int(result) if artifact.instrument else None,
+        "worker": "pid-%d" % os.getpid(),
+        "seconds": time.perf_counter() - start,
+        "spec_rebuild": not cached,
+    }

@@ -44,11 +44,19 @@ from repro.cin.builders import (
     window,
 )
 from repro.compiler.kernel import (
+    CompiledKernel,
     Kernel,
     KernelCache,
     compile_kernel,
     execute,
     kernel_cache,
+)
+from repro.exec import (
+    EXECUTORS,
+    BatchItem,
+    BatchResult,
+    KernelPool,
+    run_batch,
 )
 from repro.ir import MISSING, ops
 from repro.tensors.output import RunOutput, SparseOutput
@@ -68,8 +76,9 @@ __all__ = [
     "gallop", "ge", "gt", "increment", "indices", "land", "le", "literal",
     "locate", "lor", "lt", "maximum", "minimum", "multi", "ne", "offset",
     "pass_", "permit", "reduce_into", "sieve", "store", "walk", "where",
-    "window", "Kernel", "KernelCache", "compile_kernel", "execute",
-    "kernel_cache", "MISSING", "ops",
+    "window", "CompiledKernel", "Kernel", "KernelCache",
+    "compile_kernel", "execute", "kernel_cache", "MISSING", "ops",
+    "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "run_batch",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",
     "symmetric_from_numpy",

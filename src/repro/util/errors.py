@@ -51,3 +51,37 @@ class BindingError(ReproError):
     resolve to a binding slot, or when buffer aliasing between slots
     no longer matches the compile-time pattern.
     """
+
+
+class SpecError(ReproError):
+    """A kernel artifact could not be serialized or deserialized.
+
+    Raised by :meth:`~repro.compiler.kernel.CompiledKernel.to_spec`
+    for kernels pinned to compile-time data (custom formats binding
+    buffers outside the tensor protocol, identity-keyed signatures)
+    and by ``from_spec`` for unsupported spec versions.
+    """
+
+
+class BatchExecutionError(ReproError):
+    """A batched kernel run failed on one dataset.
+
+    Wraps the worker's exception with the index of the dataset that
+    raised it, so callers of
+    :func:`~repro.exec.batch.run_batch` can tell which item of the
+    batch went wrong regardless of the executor that ran it.
+    """
+
+    def __init__(self, index, cause):
+        self.index = index
+        self.cause = cause
+        super().__init__(
+            "dataset %d failed: %s: %s"
+            % (index, type(cause).__name__, cause))
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args
+        # (the formatted message), which does not match this
+        # signature; rebuild from (index, cause) so the error can
+        # cross process boundaries intact.
+        return (type(self), (self.index, self.cause))

@@ -13,7 +13,7 @@ from repro.cin.nodes import (
     WindowExpr,
 )
 from repro.cin.parser import parse
-from repro.ir import Call, Literal, Var, ops
+from repro.ir import Call, Literal, Var
 from repro.util.errors import ParseError
 
 

@@ -1,12 +1,10 @@
 """Structural keys: program identity up to the data it binds."""
 
 import numpy as np
-import pytest
 
 import repro.lang as fl
 from repro.cin.analyze import (
     buffer_alias_groups,
-    program_tensors,
     structural_key,
     tensor_signature,
 )

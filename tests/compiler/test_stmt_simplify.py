@@ -1,7 +1,5 @@
 """Unit tests for CIN statement simplification (Figure 5 stmt rules)."""
 
-import numpy as np
-
 import repro.lang as fl
 from repro.cin.nodes import Assign, Forall, Multi, Pass, Sieve, Where
 from repro.compiler.stmt_simplify import is_identity_literal, simplify_stmt

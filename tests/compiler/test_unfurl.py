@@ -14,7 +14,7 @@ from repro.compiler.unfurl import (
 )
 from repro.formats.level import FiberSlice
 from repro.ir import Literal, MISSING, Var
-from repro.looplets import Pipeline, Run, Stepper
+from repro.looplets import Pipeline, Run
 from repro.util.errors import LoweringError
 
 

@@ -1,0 +1,340 @@
+"""Batch engine: executor equivalence, failure modes, degeneracies.
+
+The acceptance property of the batch subsystem is *differential*: one
+compiled kernel mapped over the same datasets must produce bit-identical
+output snapshots and identical aggregate instrumented op counts under
+the serial, threads, and processes executors — concurrency shards the
+work, it never changes it.
+"""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.cin.analyze import program_tensors
+from repro.exec import EXECUTORS, KernelPool, run_batch
+from repro.util.errors import BatchExecutionError, BindingError, SpecError
+
+N = 300
+
+
+def make_pair(seed):
+    """A sparse-list and a banded vector with guaranteed overlap."""
+    rng = np.random.default_rng(seed)
+    a = np.zeros(N)
+    support = rng.choice(N, 30, replace=False)
+    a[support] = rng.random(30) + 0.1
+    b = np.zeros(N)
+    lo = int(rng.integers(0, N - 50))
+    b[lo:lo + 40] = rng.random(40) + 0.1
+    a[lo] = 1.0  # at least one intersection point
+    return a, b
+
+
+def dot_program(a, b):
+    A = fl.from_numpy(a, ("sparse",), name="A")
+    B = fl.from_numpy(b, ("band",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+
+
+def dot_datasets(count, start_seed=1):
+    programs = [dot_program(*make_pair(seed))
+                for seed in range(start_seed, start_seed + count)]
+    return [program_tensors(program) for program in programs]
+
+
+def named(tensors, name):
+    """Position of the tensor called ``name`` in a slot list."""
+    return next(slot for slot, tensor in enumerate(tensors)
+                if tensor.name == name)
+
+
+def spmv_program(mat, vec):
+    A = fl.from_numpy(mat, ("dense", "sparse"), name="A")
+    x = fl.from_numpy(vec, ("sparse",), name="x")
+    y = fl.zeros(mat.shape[0], name="y")
+    i, j = fl.indices("i", "j")
+    return fl.forall(i, fl.forall(j, fl.increment(
+        y[i], A[i, j] * x[j])))
+
+
+def test_differential_across_executors():
+    """>= 8 datasets: bit-identical outputs and identical aggregate op
+    counts under serial, threads, and processes (the acceptance
+    criterion of the batch engine)."""
+    template = dot_program(*make_pair(0))
+    datasets = dot_datasets(9)
+    expected = [float(a @ b)
+                for a, b in (make_pair(seed) for seed in range(1, 10))]
+    results = {}
+    for executor in EXECUTORS:
+        results[executor] = run_batch(
+            template, datasets, executor=executor, max_workers=3,
+            instrument=True)
+    serial = results["serial"]
+    assert len(serial) == 9
+    for item, value in zip(serial, expected):
+        assert float(item.outputs[0]) == pytest.approx(value)
+    for executor in ("threads", "processes"):
+        other = results[executor]
+        assert other.total_ops == serial.total_ops
+        assert [item.ops for item in other] == \
+            [item.ops for item in serial]
+        for left, right in zip(serial, other):
+            for base, out in zip(left.outputs, right.outputs):
+                assert base.dtype == out.dtype
+                assert base.shape == out.shape
+                assert base.tobytes() == out.tobytes()
+    assert serial.total_ops > 0
+
+
+def test_multi_output_differential():
+    """A 2-D kernel with a vector output stays deterministic under
+    every executor."""
+    rng = np.random.default_rng(3)
+
+    def make_mat(seed):
+        gen = np.random.default_rng(seed)
+        mat = gen.random((12, 16))
+        mat[mat < 0.6] = 0.0
+        return mat
+
+    vec = rng.random(16)
+    vec[vec < 0.4] = 0.0
+    template = spmv_program(make_mat(0), vec)
+    datasets = [program_tensors(spmv_program(make_mat(seed), vec))
+                for seed in range(1, 9)]
+    reference = None
+    for executor in EXECUTORS:
+        result = run_batch(template, datasets, executor=executor,
+                           max_workers=2, instrument=True)
+        snap = (result.total_ops,
+                [[out.tobytes() for out in item.outputs]
+                 for item in result])
+        if reference is None:
+            reference = snap
+        else:
+            assert snap == reference
+    for item, seed in zip(result, range(1, 9)):
+        np.testing.assert_allclose(item.outputs[0],
+                                   make_mat(seed) @ vec)
+
+
+def test_serial_and_threads_mutate_datasets_in_place():
+    template = dot_program(*make_pair(0))
+    datasets = dot_datasets(3)
+    result = run_batch(template, datasets, executor="threads",
+                       max_workers=2)
+    for tensors, item in zip(datasets, result):
+        scalar = tensors[named(tensors, "C")]
+        assert scalar.value == pytest.approx(float(item.outputs[0]))
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_empty_batch_degenerates(executor):
+    template = dot_program(*make_pair(0))
+    result = run_batch(template, [], executor=executor,
+                       instrument=True)
+    assert len(result) == 0
+    assert result.outputs == []
+    assert result.total_ops == 0
+    assert result.stats["runs"] == 0
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_single_dataset_degenerates(executor):
+    template = dot_program(*make_pair(0))
+    a, b = make_pair(42)
+    [dataset] = [program_tensors(dot_program(a, b))]
+    result = run_batch(template, [dataset], executor=executor,
+                       instrument=True)
+    assert len(result) == 1
+    assert float(result[0].outputs[0]) == pytest.approx(float(a @ b))
+    assert result.total_ops == result[0].ops
+    assert result.stats["runs"] == 1
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_worker_error_carries_dataset_index(executor):
+    """A dataset that raises inside the kernel surfaces as
+    BatchExecutionError with the failing index attached."""
+    rng = np.random.default_rng(7)
+
+    def dense_dot_program(a, b):
+        A = fl.from_numpy(a, ("dense",), name="A")
+        B = fl.from_numpy(b, ("dense",), name="B")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        return fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+
+    template = dense_dot_program(rng.random(8), rng.random(8))
+    datasets = []
+    for position in range(5):
+        tensors = program_tensors(
+            dense_dot_program(rng.random(8), rng.random(8)))
+        if position == 3:
+            # Truncate the value buffer behind the format signature's
+            # back: binding succeeds, the kernel's scalar loop then
+            # indexes past the end and raises IndexError.
+            broken = tensors[named(tensors, "A")]
+            broken.element.val = broken.element.val[:4]
+        datasets.append(tensors)
+    with pytest.raises(BatchExecutionError) as info:
+        # opt_level=1 keeps the loop scalar (a vectorized slice read
+        # would silently clamp instead of raising).
+        run_batch(template, datasets, executor=executor,
+                  max_workers=2, opt_level=1)
+    assert info.value.index == 3
+    assert "IndexError" in str(info.value)
+
+
+def test_signature_mismatch_rejected_up_front():
+    """Datasets whose formats do not match the artifact fail fast,
+    before any dataset is dispatched (nothing runs)."""
+    template = dot_program(*make_pair(0))
+    good = dot_datasets(2)
+    a, b = make_pair(99)
+    bad = program_tensors(dot_program(a, b))
+    # The B slot expects the band format; hand it a sparse-list tensor.
+    band_slot = named(bad, "B")
+    bad[band_slot] = fl.from_numpy(b, ("sparse",), name="B")
+    kernel = fl.compile_kernel(template)
+    with KernelPool(kernel, executor="serial") as pool:
+        with pytest.raises(
+                BindingError,
+                match="dataset 2: slot %d" % band_slot):
+            pool.map(good + [bad])
+        assert pool.stats()["runs"] == 0
+
+
+def test_wrong_slot_count_rejected():
+    template = dot_program(*make_pair(0))
+    [dataset] = dot_datasets(1)
+    with pytest.raises(BindingError, match="dataset 0"):
+        run_batch(template, [dataset[:-1]])
+
+
+def test_mapping_datasets_resolve_by_name():
+    a0, b0 = make_pair(0)
+    template = dot_program(a0, b0)
+    outputs = []
+    datasets = []
+    values = []
+    for seed in (5, 6, 7):
+        a, b = make_pair(seed)
+        A = fl.from_numpy(a, ("sparse",), name="A")
+        B = fl.from_numpy(b, ("band",), name="B")
+        C = fl.Scalar(name="C")
+        datasets.append({"A": A, "B": B, "C": C})
+        outputs.append(C)
+        values.append(float(a @ b))
+    result = run_batch(template, datasets, executor="serial")
+    for item, value in zip(result, values):
+        assert float(item.outputs[0]) == pytest.approx(value)
+    with pytest.raises(BindingError, match="dataset 0"):
+        run_batch(template, [{"nope": outputs[0]}])
+
+
+def test_shared_output_tensor_rejected():
+    """Mapping datasets that do not override the output would make
+    every dataset write one buffer; the pool refuses."""
+    a0, b0 = make_pair(0)
+    template = dot_program(a0, b0)
+    mappings = []
+    for seed in (5, 6):
+        a, b = make_pair(seed)
+        mappings.append({
+            "A": fl.from_numpy(a, ("sparse",), name="A"),
+            "B": fl.from_numpy(b, ("band",), name="B"),
+        })
+    with pytest.raises(BindingError, match="share an output"):
+        run_batch(template, mappings)
+
+
+def test_input_aliasing_another_datasets_output_rejected():
+    """Chained batching (dataset k+1 reading dataset k's output
+    buffer) would race under the parallel executors; the pool rejects
+    it up front."""
+    mat = np.zeros((4, 4))
+    mat[0, 1] = 1.0
+    vec = np.arange(4, dtype=float)
+    template = spmv_program(mat, vec)
+    first = program_tensors(spmv_program(mat, vec))
+    second = program_tensors(spmv_program(mat, vec))
+    # Point dataset 1's input vector at dataset 0's output buffer.
+    y_slot = named(first, "y")
+    x_slot = named(second, "x")
+    second[x_slot] = fl.from_numpy(np.zeros(4), ("sparse",), name="x")
+    second[x_slot].element.val = first[y_slot].element.val
+    with pytest.raises(BindingError, match="order-independent"):
+        run_batch(template, [first, second])
+
+
+def test_batch_execution_error_survives_pickling():
+    import pickle
+
+    error = BatchExecutionError(3, ValueError("boom"))
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.index == 3
+    assert "ValueError" in str(clone)
+    assert "boom" in str(clone)
+
+
+def test_unknown_executor_rejected():
+    template = dot_program(*make_pair(0))
+    kernel = fl.compile_kernel(template)
+    with pytest.raises(ValueError, match="unknown executor"):
+        KernelPool(kernel, executor="fibers")
+
+
+def test_pool_reuse_accumulates_stats():
+    template = dot_program(*make_pair(0))
+    kernel = fl.compile_kernel(template, instrument=True)
+    with KernelPool(kernel, executor="threads", max_workers=2) as pool:
+        first = pool.map(dot_datasets(4, start_seed=1))
+        second = pool.map(dot_datasets(4, start_seed=5))
+        stats = pool.stats()
+    assert stats["runs"] == 8
+    assert stats["ops"] == first.total_ops + second.total_ops
+    assert sum(entry["runs"] for entry in stats["workers"].values()) == 8
+    with pytest.raises(RuntimeError):
+        pool.map(dot_datasets(1))
+
+
+def test_process_workers_rebuild_spec_once():
+    template = dot_program(*make_pair(0))
+    kernel = fl.compile_kernel(template, instrument=True)
+    with KernelPool(kernel, executor="processes",
+                    max_workers=2) as pool:
+        pool.map(dot_datasets(6, start_seed=1))
+        pool.map(dot_datasets(6, start_seed=7))
+        stats = pool.stats()
+    assert stats["runs"] == 12
+    # Each worker process re-execs the spec at most once, then serves
+    # every later dataset from its artifact cache.
+    assert 1 <= stats["spec_rebuilds"] <= pool.max_workers
+    for entry in stats["workers"].values():
+        assert entry["spec_rebuilds"] <= 1
+
+
+def test_unserializable_kernel_rejected_for_processes():
+    """Custom looplet tensors pin compile-time buffers; the processes
+    executor must refuse them loudly (SpecError), not silently pickle
+    stale state."""
+    from repro.formats.custom import LoopletTensor
+    from repro.looplets import Run
+    from repro.ir import Literal
+
+    A = LoopletTensor(8, lambda ctx, pos: Run(Literal(2.0)), name="A")
+    b = np.ones(8)
+    B = fl.from_numpy(b, ("dense",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    program = fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+    dataset = program_tensors(program)
+    assert run_batch(program, [dataset],
+                     executor="serial")[0].outputs[0] == 16.0
+    with pytest.raises(SpecError):
+        run_batch(program, [dataset], executor="processes")

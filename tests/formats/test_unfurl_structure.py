@@ -14,7 +14,6 @@ from repro.ir import Literal
 from repro.looplets import (
     Jumper,
     Lookup,
-    Phase,
     Pipeline,
     Run,
     Spike,

@@ -76,8 +76,10 @@ class TestDotProduct:
         assert C.value == 0.0
 
     def test_disjoint_supports(self):
-        a = np.zeros(20); a[:5] = 1.0
-        b = np.zeros(20); b[10:] = 1.0
+        a = np.zeros(20)
+        a[:5] = 1.0
+        b = np.zeros(20)
+        b[10:] = 1.0
         A = fl.from_numpy(a, ("sparse",), name="A")
         B = fl.from_numpy(b, ("sparse",), name="B")
         C = fl.Scalar(name="C")

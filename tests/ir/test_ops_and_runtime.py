@@ -1,7 +1,5 @@
 """Unit tests for the operator registry and kernel runtime helpers."""
 
-import math
-
 import pytest
 
 from repro.ir import ops

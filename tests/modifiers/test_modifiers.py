@@ -5,7 +5,7 @@ import pytest
 
 import repro.lang as fl
 from repro.formats.custom import LoopletTensor
-from repro.ir import Literal, Var, build
+from repro.ir import Literal, build
 from repro.looplets import Lookup, Phase, Pipeline, Run
 from repro.modifiers import one_hot
 from repro.util.errors import FormatError

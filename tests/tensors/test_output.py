@@ -138,8 +138,10 @@ class TestSparseOutput:
         from repro.tensors.output import SparseOutput
 
         rng = np.random.default_rng(1)
-        a = rng.random(25); a[a < 0.6] = 0
-        b = rng.random(25); b[b < 0.6] = 0
+        a = rng.random(25)
+        a[a < 0.6] = 0
+        b = rng.random(25)
+        b[b < 0.6] = 0
         A = fl.from_numpy(a, ("sparse",), name="A")
         B = fl.from_numpy(b, ("sparse",), name="B")
         out = SparseOutput((25,), name="out")

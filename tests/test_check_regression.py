@@ -1,0 +1,210 @@
+"""Unit tests for the benchmark-regression gate's comparison logic.
+
+``benchmarks/check_regression.py`` is a standalone script (not part of
+the package), so it is loaded by file path here.  These tests pin the
+CI gate's semantics: >30% run-time regressions, speedup drops, op-count
+growth, determinism flips, and absolute speedup-gate misses all fail;
+noise inside tolerance passes.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), os.pardir,
+                       "benchmarks", "check_regression.py")
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_regression",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = load_checker()
+
+
+def payload(run_s=1.0, speedup=10.0, total_ops=500, identical=True,
+            max_abs_diff=0.0):
+    return {
+        "variants": {"optimized": {"run_s": run_s}},
+        "speedup": speedup,
+        "max_abs_diff": max_abs_diff,
+        "executors": {
+            "threads": {
+                "total_ops": total_ops,
+                "bit_identical": identical,
+            },
+        },
+        "identical": identical,
+        "title": "synthetic",
+        "cache": {"hits": 3, "misses": 1},
+    }
+
+
+def test_identical_payloads_pass():
+    failures, checked = checker.compare_payloads(
+        "BENCH_x", payload(), payload())
+    assert failures == []
+    assert checked > 0
+
+
+def test_small_drift_within_tolerance_passes():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(run_s=1.0, speedup=10.0),
+        payload(run_s=1.25, speedup=8.0))
+    assert failures == []
+
+
+def test_runtime_regression_over_30_percent_fails():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(run_s=1.0), payload(run_s=1.4))
+    assert any("regressed" in failure for failure in failures)
+
+
+def test_microsecond_timings_are_treated_as_jitter():
+    """Run times where both sides sit under the noise floor cannot
+    regress — timer jitter dominates at that scale."""
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(run_s=5e-6), payload(run_s=9e-6))
+    assert failures == []
+
+
+def test_speedups_from_subfloor_timings_are_jitter():
+    """A speedup computed from microsecond run times is a ratio of
+    noise; it must not gate."""
+    base = payload(run_s=6e-6, speedup=1.2)
+    fresh = payload(run_s=8e-6, speedup=0.7)
+    failures, _ = checker.compare_payloads("BENCH_x", base, fresh)
+    assert failures == []
+
+
+def test_speedups_from_measurable_timings_still_gate():
+    base = payload(run_s=0.5, speedup=10.0)
+    fresh = payload(run_s=0.5, speedup=2.0)
+    failures, _ = checker.compare_payloads("BENCH_x", base, fresh)
+    assert any("dropped" in failure for failure in failures)
+
+
+def test_noise_floor_does_not_hide_real_blowups():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(run_s=1e-4), payload(run_s=0.5))
+    assert any("regressed" in failure for failure in failures)
+
+
+def test_runtime_tolerance_is_configurable():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(run_s=1.0), payload(run_s=1.4),
+        max_regression=0.50)
+    assert failures == []
+
+
+def test_speedup_drop_fails():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(speedup=10.0), payload(speedup=6.0))
+    assert any("dropped" in failure for failure in failures)
+
+
+def test_op_count_growth_fails_and_shrink_passes():
+    grew, _ = checker.compare_payloads(
+        "BENCH_x", payload(total_ops=500), payload(total_ops=501))
+    assert any("op count grew" in failure for failure in grew)
+    shrank, _ = checker.compare_payloads(
+        "BENCH_x", payload(total_ops=500), payload(total_ops=400))
+    assert shrank == []
+
+
+def test_determinism_flip_fails():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(identical=True), payload(identical=False))
+    assert any("flipped" in failure for failure in failures)
+
+
+def test_output_deviation_growth_fails():
+    failures, _ = checker.compare_payloads(
+        "BENCH_x", payload(max_abs_diff=0.0),
+        payload(max_abs_diff=1e-3))
+    assert any("deviation" in failure for failure in failures)
+
+
+def test_missing_fresh_metric_fails():
+    fresh = payload()
+    del fresh["speedup"]
+    failures, _ = checker.compare_payloads("BENCH_x", payload(), fresh)
+    assert any("missing" in failure for failure in failures)
+
+
+def test_noisy_metrics_are_ignored():
+    base = payload()
+    fresh = payload()
+    fresh["cache"] = {"hits": 0, "misses": 99}
+    fresh["variants"]["optimized"]["compile_s"] = 1e9
+    failures, _ = checker.compare_payloads("BENCH_x", base, fresh)
+    assert failures == []
+
+
+def test_gate_miss_fails_and_gate_pass_passes():
+    fresh = {"dense_dot": {"speedup": 4.0}}
+    failures = checker.check_gates("BENCH_fig1_dot", fresh)
+    assert any("gate miss" in failure for failure in failures)
+    fresh = {"dense_dot": {"speedup": 400.0}}
+    assert checker.check_gates("BENCH_fig1_dot", fresh) == []
+
+
+def test_scaling_gate_skipped_on_small_worker_pools():
+    for workers in (1, 2):
+        small = {"executors": {"threads": {"speedup_vs_serial": 0.9,
+                                           "max_workers": workers}}}
+        assert checker.check_gates("BENCH_fig1_dot_throughput",
+                                   small) == []
+    multi = {"executors": {"threads": {"speedup_vs_serial": 0.9,
+                                       "max_workers": 4}}}
+    failures = checker.check_gates("BENCH_fig1_dot_throughput", multi)
+    assert any("gate miss" in failure for failure in failures)
+    fast = {"executors": {"threads": {"speedup_vs_serial": 3.1,
+                                      "max_workers": 4}}}
+    assert checker.check_gates("BENCH_fig1_dot_throughput", fast) == []
+
+
+def test_end_to_end_main_detects_regression(tmp_path, capsys):
+    baselines = tmp_path / "baselines"
+    reports = tmp_path / "reports"
+    baselines.mkdir()
+    reports.mkdir()
+    (baselines / "BENCH_a.json").write_text(json.dumps(payload()))
+    (reports / "BENCH_a.json").write_text(
+        json.dumps(payload(run_s=5.0)))
+    code = checker.main(["--baselines", str(baselines),
+                         "--reports", str(reports)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "regressed" in out
+
+    (reports / "BENCH_a.json").write_text(json.dumps(payload()))
+    assert checker.main(["--baselines", str(baselines),
+                         "--reports", str(reports)]) == 0
+
+
+def test_main_fails_when_benchmark_stops_running(tmp_path):
+    baselines = tmp_path / "baselines"
+    reports = tmp_path / "reports"
+    baselines.mkdir()
+    reports.mkdir()
+    (baselines / "BENCH_gone.json").write_text(json.dumps(payload()))
+    assert checker.main(["--baselines", str(baselines),
+                         "--reports", str(reports)]) == 1
+
+
+def test_refresh_copies_reports(tmp_path):
+    baselines = tmp_path / "baselines"
+    reports = tmp_path / "reports"
+    reports.mkdir()
+    (reports / "BENCH_a.json").write_text(json.dumps(payload()))
+    assert checker.main(["--baselines", str(baselines),
+                         "--reports", str(reports), "--refresh"]) == 0
+    data = json.loads((baselines / "BENCH_a.json").read_text())
+    assert data["speedup"] == pytest.approx(10.0)
