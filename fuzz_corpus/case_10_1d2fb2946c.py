@@ -1,0 +1,10 @@
+# repro-looplets fuzz repro — grammar-coverage anchor: spmv mul(T0[bitmap,packbits:walk+offset_of_window]) via min
+# replay: python this file (or repro.fuzz corpus replay)
+import json
+
+from repro.fuzz import conform_spec
+
+SPEC = json.loads('{"accum":"min","combine":"mul","operands":[{"chains":[{"kind":"plain"},{"delta":-2,"hi":5,"kind":"offset_of_window","lo":4}],"data":[[0.0,0.0,0.0,0.0,0.0,0.0,0.0,0.0],[0.0,0.0,0.0,0.0,0.0,0.0,0.0,0.0],[0.0,0.0,1.0,1.0,2.0,2.0,2.0,2.0],[0.0,0.0,0.0,0.0,0.0,0.0,0.0,0.0]],"formats":["bitmap","packbits"],"name":"T0","protocols":[null,"walk"]}],"seed":10,"template":"spmv"}')
+report = conform_spec(SPEC)
+assert report.ok, "\n".join(str(d) for d in report.divergences)
+print("ok:", __file__)

@@ -1,0 +1,10 @@
+# repro-looplets fuzz repro — fixed bug: while-loop DCE deleted the condition variable's initializer (vbl outer level, empty inner extent); found by fuzz seed 12, fixed in repro.ir.optimize dead_code
+# replay: python this file (or repro.fuzz corpus replay)
+import json
+
+from repro.fuzz import conform_spec
+
+SPEC = json.loads('{"combine":"min","operands":[{"chains":[{"kind":"plain"},{"delta":1,"kind":"offset_exact"}],"data":[[1.0]],"formats":["vbl","dense"],"name":"T0","protocols":[null,null]}],"seed":12,"store":false,"template":"map2d"}')
+report = conform_spec(SPEC)
+assert report.ok, "\n".join(str(d) for d in report.divergences)
+print("ok:", __file__)

@@ -1,0 +1,10 @@
+# repro-looplets fuzz repro — grammar-coverage anchor: map mul(T0[packbits:walk+offset_exact]) via add
+# replay: python this file (or repro.fuzz corpus replay)
+import json
+
+from repro.fuzz import conform_spec
+
+SPEC = json.loads('{"combine":"mul","operands":[{"chains":[{"delta":5,"kind":"offset_exact"}],"data":[3.0,-2.0,-3.0,0.0,-3.0],"formats":["packbits"],"name":"T0","protocols":["walk"]}],"seed":1,"store":false,"template":"map"}')
+report = conform_spec(SPEC)
+assert report.ok, "\n".join(str(d) for d in report.divergences)
+print("ok:", __file__)

@@ -1,0 +1,10 @@
+# repro-looplets fuzz repro — grammar-coverage anchor: map2d min(T0[band+window,sparse:walk] T1[ragged:walk,vbl:gallop]) via add
+# replay: python this file (or repro.fuzz corpus replay)
+import json
+
+from repro.fuzz import conform_spec
+
+SPEC = json.loads('{"combine":"min","operands":[{"chains":[{"hi":1,"kind":"window","lo":1},{"kind":"plain"}],"data":[[-1.0,0.0,0.0,0.0],[2.0,-3.0,-3.0,2.0],[0.0,0.0,0.0,0.0]],"formats":["band","sparse"],"name":"T0","protocols":[null,"walk"]},{"chains":[{"kind":"plain"},{"kind":"plain"}],"data":[[2.0,-3.0,-2.0,0.0],[0.0,0.0,1.0,2.0],[0.0,0.0,0.0,0.0]],"formats":["ragged","vbl"],"name":"T1","protocols":["walk","gallop"]}],"seed":50,"store":false,"template":"map2d"}')
+report = conform_spec(SPEC)
+assert report.ok, "\n".join(str(d) for d in report.divergences)
+print("ok:", __file__)

@@ -19,6 +19,8 @@ from repro.cin.nodes import (
     stmt_exprs,
     walk_stmts,
 )
+import hashlib
+
 from repro.ir import build
 from repro.ir.nodes import Extent, Literal, Var
 from repro.util.errors import DimensionError, ReproError
@@ -171,6 +173,21 @@ def structural_key(stmt):
     body = _stmt_key(stmt, slot)
     signatures = tuple(tensor_signature(tensor) for tensor in slots)
     return ("cin", body, signatures, buffer_alias_groups(slots))
+
+
+def structural_digest(key):
+    """A short, stable hex digest of a structural key (or any nested
+    key tuple), for log lines and error messages.
+
+    Structural keys are deeply nested tuples — far too long to print —
+    but operators debugging a batch failure or a cache anomaly need a
+    stable handle to correlate kernels across processes and log lines.
+    Returns ``"?"`` for ``None`` so message formatting never branches.
+    """
+    if key is None:
+        return "?"
+    payload = repr(key).encode("utf-8")
+    return hashlib.sha1(payload).hexdigest()[:12]
 
 
 def buffer_alias_groups(tensors):

@@ -103,11 +103,12 @@ class CompiledKernel:
     __slots__ = ("fn", "name", "source", "raw_source", "opt_level",
                  "plan", "seed_args", "seed_tensors", "signatures",
                  "alias_groups", "instrument", "compile_seconds",
-                 "structural_key")
+                 "structural_key", "slot_names")
 
     def __init__(self, fn, name, source, raw_source, opt_level, plan,
                  seed_args, seed_tensors, signatures, alias_groups,
-                 instrument, compile_seconds, structural_key=None):
+                 instrument, compile_seconds, structural_key=None,
+                 slot_names=None):
         self.fn = fn
         self.name = name
         self.source = source
@@ -121,8 +122,10 @@ class CompiledKernel:
         self.instrument = instrument
         self.compile_seconds = compile_seconds
         self.structural_key = structural_key
+        self.slot_names = tuple(slot_names) if slot_names \
+            else ("?",) * len(signatures)
 
-    def to_spec(self):
+    def to_spec(self, slot_names=None):
         """The artifact as a plain, JSON-serializable dict.
 
         The spec carries everything a fresh process needs to rebuild
@@ -132,23 +135,38 @@ class CompiledKernel:
         :meth:`from_spec` re-``exec``\\ s the source on the other side,
         so the function itself never crosses a process boundary.
 
+        ``slot_names`` overrides the display names carried in the spec
+        and in error messages.  The artifact's own stored names come
+        from whichever binding *compiled* it; a cache-hit kernel is
+        bound to different tensors, so callers that know their current
+        binding (:meth:`Kernel.to_spec`, the batch engine) pass the
+        live names instead.
+
         Raises :class:`~repro.util.errors.SpecError` for kernels that
         cannot leave the process: those whose binding plan pins
         compile-time buffers (custom formats binding arrays outside
         the tensor protocol) and those whose signatures are keyed by
         object identity (opaque tensors).
         """
+        if slot_names is None:
+            slot_names = self.slot_names
+        else:
+            slot_names = tuple(slot_names)
         if any(entry is None for entry in self.plan):
             raise SpecError(
                 "kernel %r binds buffers outside the tensor protocol "
                 "(a custom format called ctx.buffer directly); such "
                 "kernels are pinned to their compile-time data and "
-                "cannot be serialized" % self.name)
+                "cannot be serialized" % self.name,
+                structural_key=self.structural_key,
+                slot_names=slot_names)
         if self.seed_tensors:
             raise SpecError(
                 "kernel %r has identity-keyed tensor signatures; an "
                 "identity cannot be rebuilt in another process, so "
-                "the artifact cannot be serialized" % self.name)
+                "the artifact cannot be serialized" % self.name,
+                structural_key=self.structural_key,
+                slot_names=slot_names)
         return {
             "spec_version": SPEC_VERSION,
             "name": self.name,
@@ -161,6 +179,7 @@ class CompiledKernel:
             "instrument": self.instrument,
             "compile_seconds": self.compile_seconds,
             "structural_key": _plain(self.structural_key),
+            "slot_names": list(slot_names),
         }
 
     @classmethod
@@ -196,6 +215,7 @@ class CompiledKernel:
             instrument=spec["instrument"],
             compile_seconds=spec["compile_seconds"],
             structural_key=_frozen(spec["structural_key"]),
+            slot_names=spec.get("slot_names"),
         )
 
     def validate(self, tensors):
@@ -281,8 +301,16 @@ class Kernel:
 
     def to_spec(self):
         """Serialize the underlying artifact; see
-        :meth:`CompiledKernel.to_spec`."""
-        return self._artifact.to_spec()
+        :meth:`CompiledKernel.to_spec`.
+
+        The spec (and any :class:`SpecError`) names the tensors of
+        *this* binding — the shared artifact may have been compiled
+        against differently named tensors before a cache hit rebound
+        it here.
+        """
+        return self._artifact.to_spec(
+            slot_names=tuple(getattr(t, "name", "?")
+                             for t in self._tensors))
 
     @property
     def source(self):
@@ -558,6 +586,7 @@ def _compile_artifact(program, tensors, instrument, name,
         instrument=instrument,
         compile_seconds=time.perf_counter() - start,
         structural_key=structural_key,
+        slot_names=tuple(getattr(t, "name", "?") for t in tensors),
     )
 
 

@@ -193,10 +193,15 @@ class KernelPool:
             return self._pool
 
     def _ensure_spec(self):
-        """The serialized artifact for process workers (memoized)."""
+        """The serialized artifact for process workers (memoized).
+
+        Serialized through the bound kernel so the spec's display
+        names match this pool's tensors, not whichever binding first
+        compiled the cached artifact.
+        """
         with self._lock:
             if self._spec is None:
-                self._spec = self._artifact.to_spec()
+                self._spec = self._kernel.to_spec()
             return self._spec
 
     # -- statistics ----------------------------------------------------
@@ -304,6 +309,19 @@ class KernelPool:
                                getattr(tensor, "name", "?"), writer))
 
     # -- execution -----------------------------------------------------
+    def _dataset_names(self, tensors):
+        return tuple(getattr(t, "name", "?") for t in tensors)
+
+    def _wrap_failure(self, index, exc, tensors=None):
+        """The enriched batch error for one failing dataset: index,
+        tensor names, kernel name, and structural-key digest."""
+        return BatchExecutionError(
+            index, exc,
+            dataset_names=(self._dataset_names(tensors)
+                           if tensors is not None else None),
+            kernel_name=self._artifact.name,
+            structural_key=self._artifact.structural_key)
+
     def _run_local(self, index, tensors, worker_id):
         start = time.perf_counter()
         try:
@@ -312,7 +330,7 @@ class KernelPool:
             outputs = [_worker.snapshot_tensor(tensors[slot])
                        for slot in self._output_slots]
         except Exception as exc:
-            raise BatchExecutionError(index, exc) from exc
+            raise self._wrap_failure(index, exc, tensors) from exc
         # Normalize numpy counter values so op totals stay plain ints.
         ops = int(result) if self._artifact.instrument else None
         seconds = time.perf_counter() - start
@@ -367,8 +385,10 @@ class KernelPool:
                 raise
             except Exception as exc:
                 # The worker's exception (or a pickling failure on the
-                # way in) arrives bare; attach the dataset index.
-                raise BatchExecutionError(index, exc) from exc
+                # way in) arrives bare; attach the dataset index plus
+                # the kernel/dataset identification.
+                raise self._wrap_failure(index, exc,
+                                         resolved[index]) from exc
             item = BatchItem(payload["index"], payload["outputs"],
                              payload["ops"], payload["worker"],
                              payload["seconds"])

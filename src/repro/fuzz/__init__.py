@@ -1,0 +1,46 @@
+"""Generative conformance engine: the seeded kernel fuzzer.
+
+One import surface for the whole pipeline::
+
+    from repro.fuzz import fuzz_one, run_fuzz, conform_spec
+
+    report = fuzz_one(seed=17)          # one case, every oracle pair
+    result = run_fuzz(seed=0, budget=200, profile="quick")
+
+Submodules: :mod:`~repro.fuzz.gen` (seeded spec generation),
+:mod:`~repro.fuzz.conform` (differential oracles),
+:mod:`~repro.fuzz.shrink` (delta debugging + repro scripts),
+:mod:`~repro.fuzz.corpus` (persisted repros and anchors),
+:mod:`~repro.fuzz.inject` (named bugs for engine self-tests), and
+:mod:`~repro.fuzz.engine` (the campaign loop behind the
+``python -m repro.fuzz`` CLI).
+"""
+
+from repro.fuzz.conform import (
+    ORACLES,
+    CaseReport,
+    Divergence,
+    conform_spec,
+    fuzz_one,
+)
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_entries,
+    load_entry,
+    replay_corpus,
+    save_entry,
+)
+from repro.fuzz.engine import PROFILES, CampaignResult, case_seed, run_fuzz
+from repro.fuzz.gen import build_case, describe_spec, generate_spec
+from repro.fuzz.inject import injectable_bugs, injected_bug
+from repro.fuzz.shrink import repro_script, shrink_spec, spec_size
+
+__all__ = [
+    "ORACLES", "CaseReport", "Divergence", "conform_spec", "fuzz_one",
+    "DEFAULT_CORPUS_DIR", "corpus_entries", "load_entry",
+    "replay_corpus", "save_entry",
+    "PROFILES", "CampaignResult", "case_seed", "run_fuzz",
+    "build_case", "describe_spec", "generate_spec",
+    "injectable_bugs", "injected_bug",
+    "repro_script", "shrink_spec", "spec_size",
+]

@@ -1,0 +1,112 @@
+"""``python -m repro.fuzz`` — the conformance campaign CLI.
+
+Examples::
+
+    python -m repro.fuzz --seed 0 --budget 200 --profile quick
+    python -m repro.fuzz --seed 7 --budget 50 --profile deep --no-shrink
+    python -m repro.fuzz --replay                 # re-run the corpus
+    python -m repro.fuzz --list-bugs
+    python -m repro.fuzz --inject vector-slice-short --budget 100
+
+Exit status is 0 when every oracle pair agreed on every case (and, in
+``--replay`` mode, when every corpus entry conforms), 1 otherwise —
+except under ``--inject``, where *finding* the planted bug is the
+success criterion and a clean run is the failure.
+"""
+
+import argparse
+import contextlib
+import sys
+
+from repro.fuzz import corpus as corpus_mod
+from repro.fuzz.engine import PROFILES, run_fuzz
+from repro.fuzz.inject import injectable_bugs, injected_bug
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Seeded differential fuzzing of the looplets "
+                    "compiler: interpreter vs opt levels vs spec "
+                    "round-trip vs batch executors.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master campaign seed (default 0)")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="number of generated cases (default 200)")
+    parser.add_argument("--profile", choices=PROFILES, default="quick",
+                        help="case size / batch width profile")
+    parser.add_argument("--corpus", default=corpus_mod.DEFAULT_CORPUS_DIR,
+                        help="corpus directory for shrunk repros "
+                             "(default fuzz_corpus/)")
+    parser.add_argument("--no-corpus", action="store_true",
+                        help="do not persist repros")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta debugging on failures")
+    parser.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many divergent cases")
+    parser.add_argument("--replay", action="store_true",
+                        help="replay the corpus instead of fuzzing")
+    parser.add_argument("--inject", metavar="BUG",
+                        help="run with a named bug injected (the "
+                             "campaign must catch it)")
+    parser.add_argument("--list-bugs", action="store_true",
+                        help="list injectable bugs and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress output")
+    return parser
+
+
+def _replay(args, log):
+    reports, failures = corpus_mod.replay_corpus(args.corpus,
+                                                 profile=args.profile)
+    log("corpus replay: %d entr%s under %s" % (
+        len(reports), "y" if len(reports) == 1 else "ies",
+        args.corpus))
+    for path, report in sorted(reports.items()):
+        log("  %s: %s" % (path, "ok" if report.ok else "DIVERGED"))
+    # Failures always print, --quiet or not: a CI replay that exits 1
+    # with an empty log would leave nothing to diagnose from.
+    for path in failures:
+        print("DIVERGED: %s" % path)
+        for divergence in reports[path].divergences:
+            print("  " + str(divergence))
+    if failures:
+        print("result: FAIL — %d corpus entr%s diverge" % (
+            len(failures), "y" if len(failures) == 1 else "ies"))
+        return 1
+    print("result: PASS (%d corpus entries conform)" % len(reports))
+    return 0
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    log = (lambda *a, **k: None) if args.quiet else print
+    if args.list_bugs:
+        for name, description in injectable_bugs().items():
+            print("%-24s %s" % (name, description))
+        return 0
+    if args.replay:
+        return _replay(args, log)
+
+    corpus_dir = None if args.no_corpus else args.corpus
+    context = (injected_bug(args.inject) if args.inject
+               else contextlib.nullcontext())
+    with context:
+        result = run_fuzz(
+            seed=args.seed, budget=args.budget, profile=args.profile,
+            corpus_dir=corpus_dir, max_failures=args.max_failures,
+            shrink=not args.no_shrink, log=log)
+    print(result.summary())
+    if args.inject:
+        if result.ok:
+            print("injected bug %r was NOT caught — the conformance "
+                  "engine has a blind spot" % args.inject)
+            return 1
+        print("injected bug %r caught and shrunk as intended"
+              % args.inject)
+        return 0
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

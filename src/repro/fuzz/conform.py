@@ -1,0 +1,245 @@
+"""Differential conformance: one generated case, every oracle pair.
+
+Each case spec is executed through every implementation layer that
+must agree bit-for-bit:
+
+``interpreter``
+    The naive reference interpreter (:mod:`repro.baselines.reference`)
+    — the trusted semantics every other oracle is judged against.
+
+``compiled@0`` / ``compiled@1`` / ``compiled@2``
+    The full compiler with the target-IR optimizer off, scalar-only,
+    and with vectorization.  Instrumented, so the op-count invariant
+    (the optimizer never changes the measured work) is checked too.
+
+``spec_roundtrip``
+    The ``compiled@2`` artifact serialized through
+    :meth:`~repro.compiler.kernel.CompiledKernel.to_spec`, rebuilt
+    with ``from_spec`` (a fresh ``exec`` of the carried source), and
+    rebound to fresh tensors.
+
+``batch_serial`` / ``batch_threads`` / ``batch_processes``
+    :func:`repro.exec.batch.run_batch` mapping the kernel over several
+    fresh copies of the dataset under each executor; every per-dataset
+    snapshot and the aggregate op count must match.
+
+Case data is integer-valued (see :mod:`repro.fuzz.gen`), so every
+intermediate is exact in float64 and all comparisons demand
+**bit-identical** arrays — there is no tolerance to hide a real
+divergence behind.
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines.reference import interpret
+from repro.compiler.kernel import CompiledKernel, Kernel, compile_kernel
+from repro.exec.batch import run_batch
+from repro.fuzz.gen import build_case, describe_spec, generate_spec
+
+#: Oracle names, in execution order.
+ORACLES = ("interpreter", "compiled@0", "compiled@1", "compiled@2",
+           "spec_roundtrip", "batch_serial", "batch_threads",
+           "batch_processes")
+
+#: Per-profile batch shape: (datasets per batch, workers).
+_BATCH_SHAPE = {"quick": (2, 2), "deep": (3, 3)}
+
+
+class Divergence:
+    """One disagreement between two oracles on one case."""
+
+    __slots__ = ("left", "right", "what", "detail")
+
+    def __init__(self, left, right, what, detail):
+        self.left = left
+        self.right = right
+        self.what = what
+        self.detail = detail
+
+    @property
+    def pair(self):
+        return "%s vs %s" % (self.left, self.right)
+
+    def __repr__(self):
+        return "Divergence(%s: %s — %s)" % (self.pair, self.what,
+                                            self.detail)
+
+    def __str__(self):
+        return "%s: %s (%s)" % (self.pair, self.what, self.detail)
+
+
+class CaseReport:
+    """Everything one conformance run learned about one spec."""
+
+    def __init__(self, spec, divergences, oracles_run, seconds):
+        self.spec = spec
+        self.divergences = divergences
+        self.oracles_run = tuple(oracles_run)
+        self.seconds = seconds
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+    def summary(self):
+        head = describe_spec(self.spec)
+        if self.ok:
+            return "ok: %s" % head
+        lines = ["DIVERGED: %s" % head]
+        lines += ["  " + str(d) for d in self.divergences]
+        return "\n".join(lines)
+
+    def __repr__(self):
+        state = "ok" if self.ok else "%d divergences" % len(
+            self.divergences)
+        return "CaseReport(seed=%r, %s)" % (self.spec.get("seed"), state)
+
+
+def _max_abs_delta(left, right):
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    if left.shape != right.shape:
+        return "shape %s vs %s" % (left.shape, right.shape)
+    if left.size == 0:
+        return 0.0
+    return float(np.max(np.abs(left - right)))
+
+
+def _compare(divergences, left_name, right_name, left, right,
+             what="output"):
+    left_arr = np.asarray(left)
+    right_arr = np.asarray(right)
+    if left_arr.shape == right_arr.shape and np.array_equal(
+            left_arr, right_arr):
+        return
+    divergences.append(Divergence(
+        left_name, right_name, what,
+        "max|delta|=%s" % (_max_abs_delta(left_arr, right_arr),)))
+
+
+def _run_compiled(spec, opt_level):
+    """(output array, op count) of a fresh compiled run of ``spec``."""
+    case = build_case(spec)
+    kernel = compile_kernel(case.program, instrument=True,
+                            opt_level=opt_level)
+    n_ops = kernel.run()
+    return case.output_array(), int(n_ops)
+
+
+def _run_spec_roundtrip(spec):
+    """Output of the serialized-then-rebuilt ``compiled@2`` artifact."""
+    case = build_case(spec)
+    kernel = compile_kernel(case.program, instrument=True, opt_level=2)
+    rebuilt = CompiledKernel.from_spec(kernel.to_spec())
+    view = Kernel(rebuilt, case.slot_tensors(), case.program)
+    n_ops = view.run()
+    return case.output_array(), int(n_ops)
+
+
+def _run_batch_oracle(spec, executor, count, workers):
+    """Per-dataset snapshots and total ops under one batch executor."""
+    template_case = build_case(spec)
+    datasets = [build_case(spec).slot_tensors() for _ in range(count)]
+    result = run_batch(template_case.program, datasets,
+                       executor=executor, max_workers=workers,
+                       instrument=True)
+    snapshots = [item.outputs[0] for item in result]
+    return snapshots, int(result.total_ops)
+
+
+def conform_spec(spec, profile="quick"):
+    """Run every oracle over ``spec``; returns a :class:`CaseReport`.
+
+    Any oracle *crash* (not just a wrong answer) is recorded as a
+    divergence against the interpreter — an engine that errors on a
+    grammar-legal case has diverged from the reference, which accepts
+    it.
+    """
+    start = time.perf_counter()
+    divergences = []
+    oracles_run = ["interpreter"]
+
+    case = build_case(spec)
+    reference = interpret(case.program)
+    expected = np.asarray(reference.result_for(case.output))
+
+    compiled_ops = {}
+    for level in (0, 1, 2):
+        name = "compiled@%d" % level
+        oracles_run.append(name)
+        try:
+            got, n_ops = _run_compiled(spec, level)
+        except Exception as exc:
+            divergences.append(Divergence(
+                "interpreter", name, "crash",
+                "%s: %s" % (type(exc).__name__, exc)))
+            continue
+        compiled_ops[level] = n_ops
+        _compare(divergences, "interpreter", name, expected, got)
+    for level in (1, 2):
+        if 0 in compiled_ops and level in compiled_ops \
+                and compiled_ops[level] != compiled_ops[0]:
+            divergences.append(Divergence(
+                "compiled@0", "compiled@%d" % level, "op count",
+                "%d vs %d" % (compiled_ops[0], compiled_ops[level])))
+
+    oracles_run.append("spec_roundtrip")
+    try:
+        got, n_ops = _run_spec_roundtrip(spec)
+        _compare(divergences, "interpreter", "spec_roundtrip",
+                 expected, got)
+        if 2 in compiled_ops and n_ops != compiled_ops[2]:
+            divergences.append(Divergence(
+                "compiled@2", "spec_roundtrip", "op count",
+                "%d vs %d" % (compiled_ops[2], n_ops)))
+    except Exception as exc:
+        divergences.append(Divergence(
+            "interpreter", "spec_roundtrip", "crash",
+            "%s: %s" % (type(exc).__name__, exc)))
+
+    count, workers = _BATCH_SHAPE.get(profile, _BATCH_SHAPE["quick"])
+    batch_ops = {}
+    for executor in ("serial", "threads", "processes"):
+        name = "batch_%s" % executor
+        oracles_run.append(name)
+        try:
+            snapshots, total_ops = _run_batch_oracle(
+                spec, executor, count, workers)
+        except Exception as exc:
+            divergences.append(Divergence(
+                "interpreter", name, "crash",
+                "%s: %s" % (type(exc).__name__, exc)))
+            continue
+        batch_ops[executor] = total_ops
+        if len(snapshots) != count:
+            divergences.append(Divergence(
+                "interpreter", name, "dataset count",
+                "%d datasets in, %d results out"
+                % (count, len(snapshots))))
+        if 2 in compiled_ops and total_ops != count * compiled_ops[2]:
+            divergences.append(Divergence(
+                "compiled@2", name, "op count",
+                "%d datasets x %d ops != %d"
+                % (count, compiled_ops[2], total_ops)))
+        for pos, snapshot in enumerate(snapshots):
+            _compare(divergences, "interpreter", name, expected,
+                     snapshot, what="output[dataset %d]" % pos)
+    executors = [e for e in ("serial", "threads", "processes")
+                 if e in batch_ops]
+    for other in executors[1:]:
+        if batch_ops[other] != batch_ops[executors[0]]:
+            divergences.append(Divergence(
+                "batch_%s" % executors[0], "batch_%s" % other,
+                "op count", "%d vs %d" % (batch_ops[executors[0]],
+                                          batch_ops[other])))
+
+    return CaseReport(spec, divergences, oracles_run,
+                      time.perf_counter() - start)
+
+
+def fuzz_one(seed, profile="quick"):
+    """Generate the case for ``seed`` and conform it; the one-call API
+    (``fl.fuzz_one(seed)``)."""
+    return conform_spec(generate_spec(seed, profile), profile=profile)

@@ -1,0 +1,113 @@
+"""The persisted fuzz corpus: minimal repros plus regression anchors.
+
+Corpus layout (default directory ``fuzz_corpus/`` at the repo root)::
+
+    fuzz_corpus/
+        case_<seed>_<digest>.json   the (shrunk) spec + metadata
+        case_<seed>_<digest>.py     a standalone assert-conformance script
+
+Every ``.json`` entry carries the spec itself plus provenance: the
+originating seed and profile, the oracle pairs that diverged when the
+entry was written, and a free-text note.  Entries whose divergences
+list is empty are *anchors* — structurally interesting cases committed
+so regressions replay them forever (see
+``tests/fuzz/test_corpus_replay.py``); entries with divergences are
+*repros* of bugs that were subsequently fixed, committed in the same
+change as the fix.
+
+:func:`replay_corpus` re-runs every entry through the conformance
+engine and reports any that diverge *now* — committed corpus entries
+must always pass on a healthy tree.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.fuzz.conform import conform_spec
+from repro.fuzz.shrink import repro_script
+
+#: Default corpus directory, resolved relative to the working tree.
+DEFAULT_CORPUS_DIR = "fuzz_corpus"
+
+#: Bumped when the entry layout changes incompatibly.
+CORPUS_VERSION = 1
+
+
+def spec_digest(spec):
+    """A short stable content digest of one spec."""
+    payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:10]
+
+
+def entry_name(spec):
+    return "case_%s_%s" % (spec.get("seed", "x"), spec_digest(spec))
+
+
+def save_entry(spec, corpus_dir=DEFAULT_CORPUS_DIR, divergences=(),
+               profile="quick", note=""):
+    """Write one spec (plus its repro script) into the corpus.
+
+    Returns the path of the ``.json`` entry.  Idempotent: the name is
+    content-addressed, so saving the same spec twice overwrites the
+    same files.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    name = entry_name(spec)
+    entry = {
+        "corpus_version": CORPUS_VERSION,
+        "spec": spec,
+        "seed": spec.get("seed"),
+        "profile": profile,
+        "divergences": [str(d) for d in divergences],
+        "note": note,
+    }
+    json_path = os.path.join(corpus_dir, name + ".json")
+    with open(json_path, "w") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    script = repro_script(spec, note=note or "seed %s"
+                          % spec.get("seed"))
+    with open(os.path.join(corpus_dir, name + ".py"), "w") as fh:
+        fh.write(script)
+    return json_path
+
+
+def load_entry(path):
+    """One parsed corpus entry (the ``.json`` side)."""
+    with open(path) as fh:
+        entry = json.load(fh)
+    version = entry.get("corpus_version")
+    if version != CORPUS_VERSION:
+        raise ValueError(
+            "corpus entry %s has version %r (expected %d)"
+            % (path, version, CORPUS_VERSION))
+    return entry
+
+
+def corpus_entries(corpus_dir=DEFAULT_CORPUS_DIR):
+    """Sorted paths of every ``.json`` entry in the corpus."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    return sorted(
+        os.path.join(corpus_dir, name)
+        for name in os.listdir(corpus_dir)
+        if name.endswith(".json"))
+
+
+def replay_corpus(corpus_dir=DEFAULT_CORPUS_DIR, profile="quick"):
+    """Re-conform every corpus entry; returns (reports, failures).
+
+    ``reports`` maps entry path -> :class:`~repro.fuzz.conform.
+    CaseReport`; ``failures`` lists the paths that diverge on the
+    current tree.
+    """
+    reports = {}
+    failures = []
+    for path in corpus_entries(corpus_dir):
+        entry = load_entry(path)
+        report = conform_spec(entry["spec"], profile=profile)
+        reports[path] = report
+        if not report.ok:
+            failures.append(path)
+    return reports, failures

@@ -1,0 +1,125 @@
+"""Deliberately injectable bugs: the conformance engine's self-test.
+
+A fuzzer that has never caught anything proves nothing.  This module
+carries a registry of *named* bugs — each a small, realistic
+miscompilation patched into a live compiler seam — so tests and the
+CLI (``python -m repro.fuzz --inject NAME``) can demonstrate the whole
+catch-shrink-persist pipeline end to end against a known defect.
+
+Each injection is a context manager that monkeypatches one function,
+clears the process-wide kernel cache on entry and exit (cached
+artifacts would otherwise leak compiled code across the healthy/buggy
+boundary in both directions), and restores the original on exit even
+if the body raises.
+"""
+
+import contextlib
+
+from repro.compiler.kernel import KERNEL_CACHE
+
+#: name -> (human description, patch installer).  Installers return an
+#: undo callable.
+_BUGS = {}
+
+
+def injectable_bugs():
+    """Mapping of bug name -> one-line description."""
+    return {name: desc for name, (desc, _) in sorted(_BUGS.items())}
+
+
+def _register(name, description):
+    def decorate(installer):
+        _BUGS[name] = (description, installer)
+        return installer
+    return decorate
+
+
+@contextlib.contextmanager
+def injected_bug(name):
+    """Install the named bug for the duration of the ``with`` block."""
+    try:
+        _, installer = _BUGS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown injectable bug %r (have: %s)"
+            % (name, ", ".join(sorted(_BUGS)))) from None
+    KERNEL_CACHE.clear()
+    undo = installer()
+    try:
+        yield
+    finally:
+        undo()
+        KERNEL_CACHE.clear()
+
+
+@_register("vector-slice-short",
+           "vectorizer emits slices one element short (opt_level 2 "
+           "dense loops drop their last iteration)")
+def _install_vector_slice_short():
+    from repro.ir import optimize
+    from repro.ir.nodes import Literal
+    from repro.ir import build
+    from repro.ir.pretty import slice_source
+    from repro.rewrite import simplify_expr
+
+    original = optimize._slice_src
+
+    def buggy(buffer, coeff, base, start, stop):
+        lo = simplify_expr(build.plus(build.times(Literal(coeff), start),
+                                      base))
+        hi = simplify_expr(build.plus(build.times(Literal(coeff), stop),
+                                      base, Literal(-coeff)))
+        return slice_source(buffer, lo, hi, coeff)
+
+    optimize._slice_src = buggy
+
+    def undo():
+        optimize._slice_src = original
+
+    return undo
+
+
+@_register("seek-overshoot",
+           "the runtime binary search lands one position late, so "
+           "stepper/jumper seeks skip the first stored element at or "
+           "after the target")
+def _install_seek_overshoot():
+    from repro.ir import runtime
+
+    original = runtime.search_ge
+
+    def buggy(idx, lo, hi, key):
+        found = original(idx, lo, hi, key)
+        return min(found + 1, hi)
+
+    # Kernels resolve search_ge through the frozen helper snapshot,
+    # not the module global, so patch the snapshot and drop the cached
+    # base namespace on both install and undo.
+    runtime._STATIC_HELPERS["search_ge"] = buggy
+    runtime._BASE_CACHE["version"] = None
+
+    def undo():
+        runtime._STATIC_HELPERS["search_ge"] = original
+        runtime._BASE_CACHE["version"] = None
+
+    return undo
+
+
+@_register("batch-drops-last",
+           "the batch engine silently skips the final dataset of every "
+           "batch (executor-level result loss)")
+def _install_batch_drops_last():
+    from repro.exec import batch as batch_mod
+
+    original = batch_mod.KernelPool._resolve
+
+    def buggy(self, datasets):
+        resolved = original(self, datasets)
+        return resolved[:-1] if len(resolved) > 1 else resolved
+
+    batch_mod.KernelPool._resolve = buggy
+
+    def undo():
+        batch_mod.KernelPool._resolve = original
+
+    return undo

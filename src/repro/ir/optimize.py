@@ -389,6 +389,13 @@ def _dce_stmt(stmt, live):
         inner = set(live) | stmt_reads(stmt.body) | stmt.cond.free_vars()
         body = _dce_block(stmt.body, inner)
         live |= inner
+        # The block walk treats the body as straight-line code, so a
+        # bottom-of-body write to a condition variable discards it
+        # from ``inner`` — but the condition is evaluated again before
+        # the body ever runs, so its reads are live at loop entry
+        # regardless of what the body does (found by the fuzz engine:
+        # an initializer feeding only the condition was deleted).
+        live |= stmt.cond.free_vars()
         return WhileLoop(stmt.cond, body)
     if isinstance(stmt, If):
         processed = []

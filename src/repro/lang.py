@@ -71,6 +71,19 @@ from repro.tensors import (
     zeros,
 )
 
+
+def __getattr__(name):
+    # Lazy: repro.fuzz builds its programs through this very module
+    # (the generator composes the public eDSL), so importing it here
+    # eagerly would be circular whichever module loads first.
+    if name in ("fuzz_one", "run_fuzz"):
+        from repro.fuzz import fuzz_one, run_fuzz
+
+        return {"fuzz_one": fuzz_one, "run_fuzz": run_fuzz}[name]
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+
 __all__ = [
     "access", "call", "coalesce", "eq", "follow", "forall", "foralls",
     "gallop", "ge", "gt", "increment", "indices", "land", "le", "literal",
@@ -79,6 +92,7 @@ __all__ = [
     "window", "CompiledKernel", "Kernel", "KernelCache",
     "compile_kernel", "execute", "kernel_cache", "MISSING", "ops",
     "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "run_batch",
+    "fuzz_one", "run_fuzz",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",
     "symmetric_from_numpy",

@@ -60,7 +60,27 @@ class SpecError(ReproError):
     for kernels pinned to compile-time data (custom formats binding
     buffers outside the tensor protocol, identity-keyed signatures)
     and by ``from_spec`` for unsupported spec versions.
+
+    The rendered message carries the kernel's structural-key digest
+    and its slot (tensor) names when the raiser knows them, so a
+    failure deep inside a worker pool still names the kernel it
+    belongs to.
     """
+
+    def __init__(self, message, structural_key=None, slot_names=None):
+        self.structural_key = structural_key
+        self.slot_names = tuple(slot_names) if slot_names else ()
+        context = []
+        if structural_key is not None:
+            from repro.cin.analyze import structural_digest
+
+            context.append("skey %s" % structural_digest(structural_key))
+        if self.slot_names:
+            context.append("slots %s" % ", ".join(
+                str(name) for name in self.slot_names))
+        if context:
+            message = "%s [%s]" % (message, "; ".join(context))
+        super().__init__(message)
 
 
 class BatchExecutionError(ReproError):
@@ -69,19 +89,40 @@ class BatchExecutionError(ReproError):
     Wraps the worker's exception with the index of the dataset that
     raised it, so callers of
     :func:`~repro.exec.batch.run_batch` can tell which item of the
-    batch went wrong regardless of the executor that ran it.
+    batch went wrong regardless of the executor that ran it.  When the
+    batch engine knows them, the rendered message also names the
+    failing dataset's tensors, the kernel, and the kernel's
+    structural-key digest — enough to find the kernel in logs without
+    re-running the batch.
     """
 
-    def __init__(self, index, cause):
+    def __init__(self, index, cause, dataset_names=None,
+                 kernel_name=None, structural_key=None):
         self.index = index
         self.cause = cause
-        super().__init__(
-            "dataset %d failed: %s: %s"
-            % (index, type(cause).__name__, cause))
+        self.dataset_names = tuple(dataset_names) if dataset_names \
+            else ()
+        self.kernel_name = kernel_name
+        self.structural_key = structural_key
+        message = "dataset %d" % index
+        if self.dataset_names:
+            message += " (%s)" % ", ".join(
+                str(name) for name in self.dataset_names)
+        message += " failed"
+        if kernel_name is not None:
+            message += " in kernel %r" % kernel_name
+        if structural_key is not None:
+            from repro.cin.analyze import structural_digest
+
+            message += " [skey %s]" % structural_digest(structural_key)
+        message += ": %s: %s" % (type(cause).__name__, cause)
+        super().__init__(message)
 
     def __reduce__(self):
         # Default exception pickling replays __init__ with self.args
         # (the formatted message), which does not match this
-        # signature; rebuild from (index, cause) so the error can
-        # cross process boundaries intact.
-        return (type(self), (self.index, self.cause))
+        # signature; rebuild from the structured fields so the error
+        # can cross process boundaries intact.
+        return (type(self), (self.index, self.cause,
+                             self.dataset_names, self.kernel_name,
+                             self.structural_key))

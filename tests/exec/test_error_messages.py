@@ -1,0 +1,143 @@
+"""Error-message fidelity: failures name what actually failed.
+
+``BatchExecutionError`` and ``SpecError`` are the errors operators see
+from production batch services, so their rendered text must carry the
+dataset's tensor names, the kernel, and the structural-key digest —
+not just an index into a batch that is long gone.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.cin.analyze import structural_digest, structural_key
+from repro.util.errors import BatchExecutionError, SpecError
+
+
+def _dot_program():
+    a = np.array([1.0, 0.0, 2.0, 0.0])
+    A = fl.from_numpy(a, ("sparse",), name="A")
+    B = fl.from_numpy(a + 1, ("dense",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i])), (A, B, C)
+
+
+class TestStructuralDigest:
+    def test_stable_and_short(self):
+        program, _ = _dot_program()
+        key = structural_key(program)
+        digest = structural_digest(key)
+        assert digest == structural_digest(key)
+        assert len(digest) == 12
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_none_renders_as_question_mark(self):
+        assert structural_digest(None) == "?"
+
+
+class TestBatchExecutionErrorText:
+    def test_carries_names_kernel_and_digest(self):
+        program, _ = _dot_program()
+        key = structural_key(program)
+        err = BatchExecutionError(
+            2, ZeroDivisionError("division by zero"),
+            dataset_names=("A", "B", "C"), kernel_name="kernel",
+            structural_key=key)
+        text = str(err)
+        assert "dataset 2 (A, B, C) failed" in text
+        assert "in kernel 'kernel'" in text
+        assert "[skey %s]" % structural_digest(key) in text
+        assert "ZeroDivisionError: division by zero" in text
+
+    def test_minimal_form_still_reads(self):
+        err = BatchExecutionError(0, ValueError("boom"))
+        assert str(err) == "dataset 0 failed: ValueError: boom"
+
+    def test_pickle_round_trip_keeps_every_field(self):
+        program, _ = _dot_program()
+        key = structural_key(program)
+        err = BatchExecutionError(
+            1, ValueError("boom"), dataset_names=("A",),
+            kernel_name="kernel", structural_key=key)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.index == 1
+        assert clone.dataset_names == ("A",)
+        assert clone.kernel_name == "kernel"
+        assert clone.structural_key == key
+        assert str(clone) == str(err)
+
+    def test_batch_engine_renders_the_enriched_text(self):
+        """A worker crash surfaces with names and digest attached."""
+        program, _ = _dot_program()
+        kernel = fl.compile_kernel(program, cache=False)
+        # A genuine runtime failure: freeze the output buffer so the
+        # kernel's write-back raises mid-run.
+        output = kernel.outputs[0]
+        output.element.val.setflags(write=False)
+        try:
+            with fl.KernelPool(kernel, executor="serial") as pool:
+                with pytest.raises(BatchExecutionError) as excinfo:
+                    pool.map([list(kernel.tensors)])
+        finally:
+            output.element.val.setflags(write=True)
+        text = str(excinfo.value)
+        assert "dataset 0 (" in text
+        assert "A" in text and "C" in text
+        assert "in kernel 'kernel'" in text
+        assert "[skey " in text
+
+
+class TestSpecErrorText:
+    def test_identity_pinned_kernel_names_its_slots(self):
+        from repro.modifiers import one_hot
+
+        A = fl.from_numpy(np.arange(4.0), ("dense",), name="A")
+        out = fl.zeros(4, name="out")
+        mask = one_hot(4, 2, name="mask")
+        i = fl.indices("i")
+        program = fl.forall(i, fl.sieve(mask[i], fl.store(out[i],
+                                                          A[i])))
+        kernel = fl.compile_kernel(program, cache=False)
+        with pytest.raises(SpecError) as excinfo:
+            kernel.to_spec()
+        text = str(excinfo.value)
+        assert "mask" in text
+        assert "skey " in text
+
+    def test_bad_version_message_mentions_version(self):
+        from repro.compiler.kernel import SPEC_VERSION, CompiledKernel
+
+        program, _ = _dot_program()
+        spec = fl.compile_kernel(program, cache=False).to_spec()
+        spec["spec_version"] = SPEC_VERSION + 1
+        with pytest.raises(SpecError, match="version"):
+            CompiledKernel.from_spec(spec)
+
+    def test_context_free_spec_error_is_untouched(self):
+        assert str(SpecError("plain message")) == "plain message"
+
+    def test_cache_hit_kernel_specs_name_their_own_tensors(self):
+        """Tensor names are not part of the cache key, so a cache-hit
+        kernel shares its artifact with a differently named program;
+        the spec (and any SpecError) must still name *this* binding's
+        tensors, not the compiling one's."""
+        fl.kernel_cache().clear()
+
+        def dot(names):
+            a = np.array([1.0, 0.0, 2.0])
+            A = fl.from_numpy(a, ("sparse",), name=names[0])
+            B = fl.from_numpy(a + 1, ("dense",), name=names[1])
+            C = fl.Scalar(name=names[2])
+            i = fl.indices("i")
+            return fl.compile_kernel(
+                fl.forall(i, fl.increment(C[()], A[i] * B[i])))
+
+        first = dot(("A", "B", "C"))
+        second = dot(("X", "Y", "Z"))
+        assert not first.from_cache and second.from_cache
+        # Slot order is first-use: the output scalar leads.
+        assert second.to_spec()["slot_names"] == ["Z", "X", "Y"]
+        assert first.to_spec()["slot_names"] == ["C", "A", "B"]

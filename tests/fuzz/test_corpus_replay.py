@@ -1,0 +1,65 @@
+"""Regression replay: every committed corpus entry conforms, forever.
+
+The entries under ``fuzz_corpus/`` are grammar-coverage anchors plus
+shrunk repros of bugs that have since been fixed.  Replaying them as
+ordinary pytest cases turns every past failure into a permanent
+regression test — this module is the reason corpus entries are
+committed alongside their fixes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import conform_spec, load_entry, save_entry
+from repro.fuzz.corpus import corpus_entries, entry_name, replay_corpus
+
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "fuzz_corpus"
+
+_ENTRIES = corpus_entries(str(CORPUS_DIR))
+
+
+def test_committed_corpus_is_not_empty():
+    assert len(_ENTRIES) >= 5, \
+        "the committed corpus should carry its anchors"
+
+
+@pytest.mark.parametrize(
+    "path", _ENTRIES, ids=[Path(p).stem for p in _ENTRIES])
+def test_corpus_entry_conforms(path):
+    entry = load_entry(path)
+    report = conform_spec(entry["spec"],
+                          profile=entry.get("profile", "quick"))
+    assert report.ok, report.summary()
+
+
+def test_corpus_carries_the_fixed_dce_repro():
+    """The while-loop DCE liveness bug the fuzzer found (and PR 4
+    fixed) must stay in the corpus as a named regression."""
+    notes = [load_entry(path).get("note", "") for path in _ENTRIES]
+    assert any("while-loop DCE" in note for note in notes)
+
+
+def test_save_and_load_round_trip(tmp_path):
+    entry_spec = {"seed": 99, "template": "reduce", "combine": "mul",
+                  "operands": [{"name": "T0", "data": [1.0, 0.0, 2.0],
+                                "formats": ["sparse"],
+                                "protocols": [None],
+                                "chains": [{"kind": "plain"}]}],
+                  "accum": "add"}
+    path = save_entry(entry_spec, corpus_dir=str(tmp_path),
+                      note="round trip")
+    entry = load_entry(path)
+    assert entry["spec"] == entry_spec
+    assert entry["note"] == "round trip"
+    assert entry_name(entry_spec) in path
+    twin = Path(path).with_suffix(".py")
+    assert twin.exists()
+    reports, failures = replay_corpus(str(tmp_path))
+    assert not failures
+    assert list(reports) == [path]
+
+
+def test_replay_corpus_handles_missing_directory(tmp_path):
+    reports, failures = replay_corpus(str(tmp_path / "nope"))
+    assert reports == {} and failures == []

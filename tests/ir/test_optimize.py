@@ -171,6 +171,22 @@ class TestDeadCode:
         assert "n =" not in source
         assert "n +=" not in source
 
+    def test_while_condition_initializer_survives_bottom_write(self):
+        """Found by the fuzz engine (corpus case_12): a while body
+        whose *last* statement overwrites the condition variable must
+        not kill the initializer above the loop — the condition reads
+        it before the body ever runs."""
+        body = asm.Block([
+            asm.AssignStmt(Load("buf", Literal(0)), Var("cur")),
+            asm.AssignStmt("cur", Load("buf", Literal(1))),
+        ])
+        stmts = [
+            asm.AssignStmt("cur", Literal(0)),
+            asm.WhileLoop(build.lt(Var("cur"), Var("stop")), body),
+        ]
+        source = emit(dead_code(func_of(*stmts, params=("buf", "stop"))))
+        assert "cur = 0" in source
+
 
 class TestHoistInvariants:
     def test_invariant_load_hoists_with_guard(self):

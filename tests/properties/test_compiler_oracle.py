@@ -12,43 +12,11 @@ from hypothesis import strategies as st
 
 import repro.lang as fl
 from repro.baselines.reference import interpret
-
-FORMATS = ["dense", "sparse", "band", "vbl", "rle", "bitmap", "ragged",
-           "packbits"]
-
-
-@st.composite
-def structured_vector(draw, max_len=24):
-    """A float vector with one of several structural shapes."""
-    n = draw(st.integers(min_value=1, max_value=max_len))
-    shape = draw(st.sampled_from(["scatter", "band", "runs", "empty",
-                                  "dense"]))
-    values = draw(st.lists(
-        st.floats(min_value=-4, max_value=4, allow_nan=False,
-                  width=32).map(lambda v: round(v, 2)),
-        min_size=n, max_size=n))
-    vec = np.array(values)
-    if shape == "scatter":
-        keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
-        vec[~np.array(keep)] = 0.0
-    elif shape == "band":
-        lo = draw(st.integers(0, n - 1))
-        hi = draw(st.integers(lo, n))
-        mask = np.zeros(n, dtype=bool)
-        mask[lo:hi] = True
-        vec[~mask] = 0.0
-    elif shape == "runs":
-        pool = draw(st.lists(st.integers(0, 3), min_size=1, max_size=3))
-        picks = draw(st.lists(st.sampled_from(pool), min_size=n,
-                              max_size=n))
-        vec = np.array(picks, dtype=float)
-        vec = np.sort(vec)  # longer runs
-    elif shape == "empty":
-        vec = np.zeros(n)
-    return vec
+from repro.fuzz.strategies import FORMATS_1D as FORMATS
+from repro.fuzz.strategies import structured_vector
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 @given(a=structured_vector(), b=structured_vector(),
        fmt_a=st.sampled_from(FORMATS), fmt_b=st.sampled_from(FORMATS))
 def test_dot_product_matches_interpreter(a, b, fmt_a, fmt_b):
@@ -64,7 +32,7 @@ def test_dot_product_matches_interpreter(a, b, fmt_a, fmt_b):
     assert C.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(a=structured_vector(),
        proto_a=st.sampled_from(["walk", "gallop"]),
        proto_b=st.sampled_from(["walk", "gallop"]),
@@ -85,7 +53,7 @@ def test_protocol_choice_never_changes_results(a, b, proto_a, proto_b):
     assert C.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(vec=structured_vector(), fmt=st.sampled_from(FORMATS),
        delta=st.integers(-6, 6))
 def test_offset_permit_matches_interpreter(vec, fmt, delta):
@@ -100,7 +68,7 @@ def test_offset_permit_matches_interpreter(vec, fmt, delta):
     np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-9)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(vec=structured_vector(max_len=20), fmt=st.sampled_from(FORMATS),
        data=st.data())
 def test_window_matches_interpreter(vec, fmt, data):
@@ -117,7 +85,7 @@ def test_window_matches_interpreter(vec, fmt, data):
     assert S.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(rows=st.integers(1, 6), cols=st.integers(1, 10),
        fmt=st.sampled_from(["sparse", "vbl", "rle", "band", "dense"]),
        data=st.data())
@@ -139,7 +107,7 @@ def test_spmv_matches_interpreter(rows, cols, fmt, data):
     np.testing.assert_allclose(y.to_numpy(), expected, atol=1e-9)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(vec=structured_vector(max_len=16),
        fmt=st.sampled_from(FORMATS),
        op_name=st.sampled_from(["max", "min", "add"]))
@@ -154,7 +122,7 @@ def test_reductions_match_interpreter(vec, fmt, op_name):
     assert S.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(vec=structured_vector(max_len=18), fmt=st.sampled_from(FORMATS))
 def test_roundtrip_through_any_format(vec, fmt):
     tensor = fl.from_numpy(vec, (fmt,), name="T")

@@ -12,28 +12,12 @@ from hypothesis import strategies as st
 
 import repro.lang as fl
 from repro.baselines.reference import interpret
-
-OUTER_FORMATS = ["dense", "sparse", "ragged"]
-INNER_FORMATS = ["dense", "sparse", "band", "vbl", "rle", "bitmap",
-                 "ragged"]
-
-
-@st.composite
-def random_matrix(draw, max_rows=6, max_cols=10):
-    rows = draw(st.integers(1, max_rows))
-    cols = draw(st.integers(1, max_cols))
-    density = draw(st.sampled_from([0.0, 0.2, 0.5, 1.0]))
-    seed = draw(st.integers(0, 2 ** 16))
-    rng = np.random.default_rng(seed)
-    mat = np.round(rng.random((rows, cols)), 2)
-    mat[rng.random((rows, cols)) > density] = 0.0
-    # Randomly blank whole rows (absent fibers for sparse outers).
-    blank = draw(st.lists(st.booleans(), min_size=rows, max_size=rows))
-    mat[np.array(blank)] = 0.0
-    return mat
+from repro.fuzz.strategies import FORMATS_MATRIX_INNER as INNER_FORMATS
+from repro.fuzz.strategies import FORMATS_OUTER as OUTER_FORMATS
+from repro.fuzz.strategies import random_matrix
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 @given(mat=random_matrix(), outer=st.sampled_from(OUTER_FORMATS),
        inner=st.sampled_from(INNER_FORMATS))
 def test_matrix_roundtrip(mat, outer, inner):
@@ -41,7 +25,7 @@ def test_matrix_roundtrip(mat, outer, inner):
     np.testing.assert_array_equal(tensor.to_numpy(), mat)
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 @given(mat=random_matrix(), outer=st.sampled_from(OUTER_FORMATS),
        inner=st.sampled_from(INNER_FORMATS), data=st.data())
 def test_matrix_sum_matches_interpreter(mat, outer, inner, data):
@@ -54,7 +38,7 @@ def test_matrix_sum_matches_interpreter(mat, outer, inner, data):
     assert C.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(mat=random_matrix(max_rows=5, max_cols=8),
        inner_a=st.sampled_from(INNER_FORMATS),
        inner_b=st.sampled_from(INNER_FORMATS),
@@ -75,7 +59,7 @@ def test_elementwise_matrix_product(mat, inner_a, inner_b, data):
     assert C.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(mat=random_matrix(max_rows=4, max_cols=8),
        proto=st.sampled_from(["walk", "gallop"]))
 def test_spmspv_random_protocols(mat, proto):

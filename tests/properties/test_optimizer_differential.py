@@ -23,30 +23,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro.lang as fl
+from repro.fuzz.strategies import integer_vector
 
 FORMATS = ["dense", "sparse", "band", "vbl", "rle", "bitmap"]
 LEVELS = (0, 1, 2)
-
-
-@st.composite
-def integer_vector(draw, max_len=24):
-    """A float vector holding small integers (exact in float64)."""
-    n = draw(st.integers(min_value=1, max_value=max_len))
-    shape = draw(st.sampled_from(["scatter", "band", "dense", "empty"]))
-    values = draw(st.lists(st.integers(-4, 4), min_size=n, max_size=n))
-    vec = np.array(values, dtype=float)
-    if shape == "scatter":
-        keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
-        vec[~np.array(keep)] = 0.0
-    elif shape == "band":
-        lo = draw(st.integers(0, n - 1))
-        hi = draw(st.integers(lo, n))
-        mask = np.zeros(n, dtype=bool)
-        mask[lo:hi] = True
-        vec[~mask] = 0.0
-    elif shape == "empty":
-        vec = np.zeros(n)
-    return vec
 
 
 def run_at_levels(make_program, outputs_of):
@@ -69,7 +49,7 @@ def assert_bit_identical(results):
             np.testing.assert_array_equal(left, right)
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 @given(a=integer_vector(), b=integer_vector(),
        fmt_a=st.sampled_from(FORMATS), fmt_b=st.sampled_from(FORMATS))
 def test_dot_product_bit_identical(a, b, fmt_a, fmt_b):
@@ -91,7 +71,7 @@ def test_dot_product_bit_identical(a, b, fmt_a, fmt_b):
     assert float(results[0][0][0]) == float(a @ b)
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 @given(a=integer_vector(), b=integer_vector(),
        fmt=st.sampled_from(FORMATS),
        op_name=st.sampled_from(["add", "mul", "min", "max"]))
@@ -115,7 +95,7 @@ def test_elementwise_store_bit_identical(a, b, fmt, op_name):
     assert_bit_identical(results)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(data=st.data())
 def test_spmv_bit_identical(data):
     rows = data.draw(st.integers(1, 6))
@@ -147,7 +127,7 @@ def test_spmv_bit_identical(data):
     np.testing.assert_array_equal(results[0][0][0], mat @ vec)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(vec=integer_vector(max_len=16), fmt=st.sampled_from(FORMATS),
        op_name=st.sampled_from(["add", "max", "min"]))
 def test_reductions_bit_identical(vec, fmt, op_name):
@@ -166,7 +146,7 @@ def test_reductions_bit_identical(vec, fmt, op_name):
     assert_bit_identical(results)
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(data=st.data())
 def test_real_floats_agree_to_tolerance(data):
     """With real float data reassociated reductions may round

@@ -13,23 +13,13 @@ from hypothesis import strategies as st
 
 import repro.lang as fl
 from repro.baselines.reference import interpret
+from repro.fuzz.strategies import vector_pair
 from repro.tensors.convert import convert
 
 FORMATS = ["dense", "sparse", "band", "vbl", "rle", "bitmap", "ragged"]
 
 
-@st.composite
-def vector_pair(draw, max_len=20):
-    n = draw(st.integers(2, max_len))
-    def vec():
-        values = draw(st.lists(
-            st.sampled_from([0.0, 0.0, 1.0, 2.5, -3.0]),
-            min_size=n, max_size=n))
-        return np.array(values)
-    return vec(), vec()
-
-
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 @given(pair=vector_pair(), fmt_a=st.sampled_from(FORMATS),
        fmt_b=st.sampled_from(FORMATS))
 def test_union_coiteration_matches_interpreter(pair, fmt_a, fmt_b):
@@ -44,7 +34,7 @@ def test_union_coiteration_matches_interpreter(pair, fmt_a, fmt_b):
     assert C.value == pytest.approx(float(expected), abs=1e-9)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(pair=vector_pair(),
        d1=st.integers(-4, 4), d2=st.integers(-4, 4))
 def test_offset_composition(pair, d1, d2):
@@ -65,7 +55,7 @@ def test_offset_composition(pair, d1, d2):
     np.testing.assert_allclose(nested, flat)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(pair=vector_pair(), src=st.sampled_from(FORMATS),
        dst=st.sampled_from(["dense", "sparse", "rle"]))
 def test_conversion_preserves_values(pair, src, dst):
@@ -75,7 +65,7 @@ def test_conversion_preserves_values(pair, src, dst):
     np.testing.assert_array_equal(converted.to_numpy(), a)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(pair=vector_pair(), fmt=st.sampled_from(FORMATS))
 def test_conjunctive_work_never_exceeds_dense(pair, fmt):
     """Structure can only remove work from an intersection."""
@@ -93,7 +83,7 @@ def test_conjunctive_work_never_exceeds_dense(pair, fmt):
     assert C.value == pytest.approx(float(a @ b), abs=1e-9)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(pair=vector_pair(max_len=16),
        lo=st.integers(0, 5), width=st.integers(0, 8))
 def test_window_equals_numpy_slice(pair, lo, width):
@@ -110,7 +100,7 @@ def test_window_equals_numpy_slice(pair, lo, width):
     np.testing.assert_allclose(out.to_numpy(), a[lo:hi])
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(pair=vector_pair(), fmt=st.sampled_from(FORMATS))
 def test_scalar_accumulator_isolated_between_runs(pair, fmt):
     """Kernel reruns must not accumulate across invocations."""
