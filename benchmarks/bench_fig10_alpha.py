@@ -11,18 +11,17 @@ import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
+from repro.bench.figures import (
+    FIG10_ALPHA as ALPHA,
+    FIG10_BETA as BETA,
+    FIG10_FORMATS as FORMATS,
+    fig10_image_pair as image_pair,
+)
 from repro.bench.harness import Table, amortization_table, assert_amortized
 from repro.bench.kernels import alpha_blend, alpha_blend_program
-from repro.workloads import images
 
-ALPHA, BETA = 0.4, 0.6
-FORMATS = ("dense", "sparse", "rle")
-
-
-def image_pair(kind, seed):
-    first = images.image_batch(kind, 1, seed=seed)[0]
-    second = images.image_batch(kind, 1, seed=seed + 100)[0]
-    return first, second
+# Blend weights, formats, and image generation live in
+# repro.bench.figures, shared with the AOT kernel-pack builder.
 
 
 @pytest.mark.parametrize("fmt", FORMATS)

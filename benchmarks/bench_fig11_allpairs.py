@@ -13,6 +13,11 @@ import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
+from repro.bench.figures import (
+    FIG11_COUNT as COUNT,
+    FIG11_FORMATS as FORMATS,
+    fig11_batch as batch,
+)
 from repro.bench.harness import (
     Table,
     amortization_table,
@@ -23,12 +28,8 @@ from repro.bench.kernels import all_pairs_similarity, all_pairs_similarity_progr
 from repro.cin.analyze import program_tensors
 from repro.workloads import images
 
-FORMATS = ("dense", "sparse", "vbl", "rle")
-COUNT = 6
-
-
-def batch(kind, size):
-    return images.linearized_batch(kind, COUNT, size=size, seed=3)
+# Batch size, formats, and image generation live in
+# repro.bench.figures, shared with the AOT kernel-pack builder.
 
 
 @pytest.mark.parametrize("fmt", FORMATS)

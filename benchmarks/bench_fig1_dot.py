@@ -13,6 +13,14 @@ import pytest
 
 import repro.lang as fl
 from repro.baselines import twofinger
+from repro.bench.figures import (
+    FIG1_BATCH_N as BATCH_N,
+    FIG1_DENSE_N as DENSE_N,
+    fig1_dense_inputs,
+    fig1_dense_dot_program as dense_dot_program,
+    fig1_inputs as make_inputs,
+    fig1_looplet_program as looplet_program,
+)
 from repro.bench.harness import (
     Table,
     amortization_table,
@@ -22,30 +30,11 @@ from repro.bench.harness import (
 )
 from repro.cin.analyze import program_tensors
 
-N = 4000
-BAND = (1700, 1780)
-LIST_NNZ = 400
-DENSE_N = 20000  # small enough for the CI smoke-perf job
-BATCH_N = 400000  # per-dataset length of the throughput batch
+# Canonical sizes, seeds, and program builders live in
+# repro.bench.figures: the AOT kernel-pack builder compiles the same
+# registry, which is what lets a warmed store serve this script's
+# compiles.  Change shapes there, not here.
 BATCH_ITEMS = 8
-
-
-def make_inputs(seed=0):
-    rng = np.random.default_rng(seed)
-    a = np.zeros(N)
-    support = rng.choice(N, LIST_NNZ, replace=False)
-    a[support] = rng.random(LIST_NNZ) + 0.1
-    b = np.zeros(N)
-    b[BAND[0]:BAND[1]] = rng.random(BAND[1] - BAND[0]) + 0.1
-    return a, b
-
-
-def looplet_program(a, b):
-    A = fl.from_numpy(a, ("sparse",), name="A")
-    B = fl.from_numpy(b, ("band",), name="B")
-    C = fl.Scalar(name="C")
-    i = fl.indices("i")
-    return fl.forall(i, fl.increment(C[()], A[i] * B[i])), C
 
 
 def looplet_kernel(a, b, instrument=False):
@@ -104,14 +93,6 @@ def test_report_fig1_amortization(write_report):
     assert_amortized(table)
 
 
-def dense_dot_program(a, b):
-    A = fl.from_numpy(a, ("dense",), name="A")
-    B = fl.from_numpy(b, ("dense",), name="B")
-    C = fl.Scalar(name="C")
-    i = fl.indices("i")
-    return fl.forall(i, fl.increment(C[()], A[i] * B[i])), C
-
-
 def test_report_fig1_optimization(write_report, write_json_report,
                                   inputs):
     """Optimizer on vs off over identical data.
@@ -122,9 +103,7 @@ def test_report_fig1_optimization(write_report, write_json_report,
     band kernel rides along to show the scalar passes never change
     results.
     """
-    rng = np.random.default_rng(11)
-    da = rng.random(DENSE_N)
-    db = rng.random(DENSE_N)
+    da, db = fig1_dense_inputs(DENSE_N)
     dense_table, dense_payload = optimization_table(
         "Figure 1 optimization: dense x dense dot (n=%d)" % DENSE_N,
         lambda: dense_dot_program(da, db)[0])
@@ -156,8 +135,8 @@ def test_report_fig1_throughput(write_report, write_json_report):
     aggregate op counts must be identical under every executor.
     """
     rng = np.random.default_rng(23)
-    template, _ = dense_dot_program(rng.random(BATCH_N),
-                                    rng.random(BATCH_N))
+    template, _ = dense_dot_program(*fig1_dense_inputs(BATCH_N,
+                                                       seed=23))
     datasets = [
         program_tensors(dense_dot_program(rng.random(BATCH_N),
                                           rng.random(BATCH_N))[0])

@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import twofinger
+from repro.bench.figures import fig7_suite, fig7_vector
 from repro.bench.harness import (
     Table,
     amortization_table,
@@ -23,20 +24,15 @@ from repro.bench.harness import (
 )
 from repro.bench.kernels import SPMSPV_STRATEGIES, spmspv, spmspv_program
 from repro.cin.analyze import program_tensors
-from repro.workloads import matrices
 
-N = 250
+# Suite size and vector regimes live in repro.bench.figures, shared
+# with the AOT kernel-pack builder.
+make_x = fig7_vector
 
 
 @pytest.fixture(scope="module")
 def suite():
-    return matrices.harwell_boeing_like_suite(N, seed=0)
-
-
-def make_x(regime, seed=0):
-    if regime == "dense10pct":
-        return matrices.sparse_vector(N, density=0.10, seed=seed)
-    return matrices.sparse_vector(N, count=10, seed=seed)
+    return fig7_suite()
 
 
 @pytest.mark.parametrize("strategy", SPMSPV_STRATEGIES)

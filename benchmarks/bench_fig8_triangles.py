@@ -8,6 +8,7 @@ merge-based intersection on skewed degree distributions.
 import pytest
 
 from repro.baselines import twofinger
+from repro.bench.figures import fig8_suite
 from repro.bench.harness import Table, amortization_table, assert_amortized
 from repro.bench.kernels import triangle_count, triangle_count_program
 from repro.workloads import graphs
@@ -15,7 +16,9 @@ from repro.workloads import graphs
 
 @pytest.fixture(scope="module")
 def suite():
-    return graphs.snap_like_suite(seed=0)
+    # The canonical graph suite lives in repro.bench.figures, shared
+    # with the AOT kernel-pack builder.
+    return fig8_suite()
 
 
 @pytest.mark.parametrize("protocol", ["walk", "gallop"])

@@ -10,17 +10,17 @@ import numpy as np
 import pytest
 
 from repro.baselines import dense_ref
+from repro.bench.figures import (
+    FIG9_DENSITIES as DENSITIES,
+    FIG9_FILTER as FILTER,
+    FIG9_GRID as GRID,
+    fig9_grid as make_grid,
+)
 from repro.bench.harness import Table, amortization_table, assert_amortized
 from repro.bench.kernels import dense_convolution, masked_convolution, masked_convolution_program
-from repro.workloads import matrices
 
-GRID = 36
-FILTER = np.ones((5, 5)) / 25.0
-DENSITIES = (0.01, 0.02, 0.05, 0.10, 0.20)
-
-
-def make_grid(density, seed=0):
-    return matrices.random_sparse_matrix(GRID, GRID, density, seed=seed)
+# Grid size, filter, and densities live in repro.bench.figures,
+# shared with the AOT kernel-pack builder.
 
 
 @pytest.mark.parametrize("density", [0.01, 0.10])

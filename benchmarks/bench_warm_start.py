@@ -1,0 +1,61 @@
+"""Warm start: a warmed persistent store ends recompilation.
+
+The paper's kernels are expensive to specialize and infinitely
+reusable per structural key; the persistent on-disk store
+(:mod:`repro.store`) carries that reuse across *processes*.  This
+benchmark is the proof the CI pipeline gates on: against a warmed
+store, a fresh process compiles **zero** kernels for all six
+reproduced figures — every compile is a disk hit, and the rebuilt
+kernels produce bit-identical outputs to fresh cold compiles.
+
+In CI, ``FL_KERNEL_STORE`` points at a store warmed from the
+``warm-kernels`` job's ``.flpack`` artifact.  Locally (no env var)
+the benchmark warms a temporary store itself first, so the table is
+meaningful anywhere.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.bench.figures import warm_start_programs
+from repro.bench.harness import warm_start_table
+from repro.compiler.kernel import compile_kernel, kernel_cache
+from repro.store import KernelStore
+
+
+@pytest.fixture(scope="module")
+def store():
+    path = os.environ.get("FL_KERNEL_STORE")
+    if path:
+        yield KernelStore(path)
+        return
+    tmp = tempfile.mkdtemp(prefix="fl-warm-start-")
+    warmed = KernelStore(tmp)
+    # Self-warm: compile the six figure kernels once and persist their
+    # specs, exactly what `python -m repro.store warm` would do.
+    for _, _, make_program, opts in warm_start_programs():
+        kernel_cache().clear()
+        kernel = compile_kernel(make_program(), cache=False, **opts)
+        warmed.save_artifact(kernel.artifact)
+    yield warmed
+    shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_report_warm_start(store, write_report, write_json_report):
+    """Zero compiles in the warm process, bit-identical outputs.
+
+    ``hit_rate == 1.0`` is the CI gate: any figure kernel missing the
+    store means a fleet process somewhere is silently paying full
+    compile cost again (a pack/registry drift, a fingerprint bump
+    without a re-warm, or store corruption)."""
+    table, payload = warm_start_table(
+        "Warm start: six figures against a warmed kernel store",
+        warm_start_programs(), store)
+    write_report("warm_start", [table])
+    write_json_report("warm_start", payload)
+    assert payload["identical"], payload
+    assert payload["cold_compiles"] == 0, payload
+    assert payload["hit_rate"] == 1.0, payload

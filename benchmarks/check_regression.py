@@ -17,9 +17,22 @@ fails (exit code 1) when the perf trajectory regresses:
   true to false, or an output deviation (``max_abs_diff``) grew past
   tolerance,
 * an absolute speedup gate was missed (e.g. the vectorized dense dot
-  must stay at least 5x over the scalar emission), or
+  must stay at least 5x over the scalar emission),
+* a kernel-store metric regressed: a ``hit_rate`` dropped below its
+  baseline, a ``disk_hit`` flag flipped to false, or ``cold_compiles``
+  grew — a warm-start benchmark silently falling back to cold
+  compilation is a fleet-wide cost regression even when every kernel
+  still runs fast, or
 * a baseline report has no fresh counterpart (the benchmark silently
   stopped running).
+
+With ``--store DIR`` the persistent kernel store's cross-process
+counters are read after the fact and printed; ``--min-hit-rate``
+turns them into a gate (fail when the whole benchmark run's disk-hit
+rate is below the floor, or when the store saw no lookups at all —
+i.e. ``FL_KERNEL_STORE`` silently stopped being honored).
+``--github-summary`` appends a markdown digest to the file named by
+``$GITHUB_STEP_SUMMARY`` when that variable is set.
 
 Fresh reports with no committed baseline are listed as warnings: commit
 them under ``benchmarks/baselines/`` to start tracking them.  To
@@ -174,15 +187,40 @@ def compare_payloads(name, baseline, fresh, max_regression=0.30,
                     "%s: %s op count grew %d -> %d (machine-independent "
                     "work regression)" % (name, path, base_value, fresh_flat[path])
                 )
-        elif leaf in ("identical", "bit_identical"):
+        elif leaf == "hit_rate":
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            checked += 1
+            if fresh_flat[path] < base_value:
+                failures.append(
+                    "%s: %s store hit rate dropped %.1f%% -> %.1f%% "
+                    "(cold compiles crept back in)"
+                    % (name, path, 100 * base_value, 100 * fresh_flat[path])
+                )
+        elif leaf == "cold_compiles":
+            if path not in fresh_flat:
+                failures.append("%s: %s missing from fresh report" % (name, path))
+                continue
+            checked += 1
+            if fresh_flat[path] > base_value:
+                failures.append(
+                    "%s: %s grew %d -> %d (the warm process is "
+                    "compiling again)" % (name, path, base_value, fresh_flat[path])
+                )
+        elif leaf in ("identical", "bit_identical", "disk_hit"):
             if path not in fresh_flat:
                 failures.append("%s: %s missing from fresh report" % (name, path))
                 continue
             checked += 1
             if base_value and not fresh_flat[path]:
+                reason = (
+                    "the store no longer serves this kernel"
+                    if leaf == "disk_hit"
+                    else "executors no longer agree"
+                )
                 failures.append(
-                    "%s: %s flipped to false (executors no longer agree)"
-                    % (name, path)
+                    "%s: %s flipped to false (%s)" % (name, path, reason)
                 )
         elif leaf == "max_abs_diff":
             if path not in fresh_flat:
@@ -215,6 +253,60 @@ def check_gates(name, fresh):
                 "%s: gate miss: %s is %.3gx, floor %.3gx" % (name, path, value, floor)
             )
     return failures
+
+
+def check_store(store_dir, min_hit_rate):
+    """(failures, stats) for the persistent kernel store's counters.
+
+    The counters persist in the store directory across processes, so
+    this runs *after* the benchmark suite exited and still sees every
+    lookup the suite made.  A store that saw zero lookups fails the
+    gate outright: it means the suite ran without the disk tier (env
+    var lost, store misconfigured) and "no regression" would be
+    vacuous.
+    """
+    try:
+        import repro.store
+    except ModuleNotFoundError:
+        # Running as a script against the source tree (no installed
+        # package): benchmarks/ sits next to src/.
+        sys.path.insert(
+            0,
+            os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+        )
+        import repro.store
+
+    stats = repro.store.KernelStore(store_dir).stats()
+    failures = []
+    lookups = stats["hits"] + stats["misses"]
+    if min_hit_rate is not None:
+        if lookups == 0:
+            failures.append(
+                "store %s: no lookups recorded — the benchmark run "
+                "never consulted the disk tier (is FL_KERNEL_STORE "
+                "set?)" % store_dir
+            )
+        elif stats["hit_rate"] < min_hit_rate:
+            failures.append(
+                "store %s: disk-hit rate %.1f%% below the %.1f%% floor "
+                "(%d cold compile(s) crept back in)"
+                % (
+                    store_dir,
+                    100 * stats["hit_rate"],
+                    100 * min_hit_rate,
+                    stats["misses"],
+                )
+            )
+    return failures, stats
+
+
+def write_github_summary(lines):
+    """Append markdown ``lines`` to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def report_names(directory):
@@ -279,6 +371,24 @@ def main(argv=None):
         action="store_true",
         help="overwrite the baselines with the current reports and exit",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="persistent kernel-store directory to audit after the "
+        "comparison (reads its cross-process counters)",
+    )
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        help="fail unless the store's disk-hit rate reaches this "
+        "floor (requires --store; 0.0-1.0)",
+    )
+    parser.add_argument(
+        "--github-summary",
+        action="store_true",
+        help="append a markdown digest to $GITHUB_STEP_SUMMARY",
+    )
     args = parser.parse_args(argv)
 
     if args.refresh:
@@ -318,6 +428,45 @@ def main(argv=None):
                 "%-40s new (no baseline; commit benchmarks/baselines/%s.json "
                 "to track it)" % (name, name)
             )
+
+    store_stats = None
+    if args.store:
+        store_failures, store_stats = check_store(args.store, args.min_hit_rate)
+        failures.extend(store_failures)
+        print(
+            "store %s: %d hits / %d misses (%.1f%% hit rate), "
+            "%d entr%s, %d quarantined"
+            % (
+                args.store,
+                store_stats["hits"],
+                store_stats["misses"],
+                100 * store_stats["hit_rate"],
+                store_stats["entries"],
+                "y" if store_stats["entries"] == 1 else "ies",
+                store_stats["quarantined"],
+            )
+        )
+
+    if args.github_summary:
+        lines = ["### Benchmark regression gate", ""]
+        if store_stats is not None:
+            lines += [
+                "| store metric | value |",
+                "| --- | --- |",
+                "| hits | %d |" % store_stats["hits"],
+                "| misses | %d |" % store_stats["misses"],
+                "| hit rate | %.1f%% |" % (100 * store_stats["hit_rate"]),
+                "| entries | %d |" % store_stats["entries"],
+                "| bytes | %d |" % store_stats["bytes"],
+                "| quarantined | %d |" % store_stats["quarantined"],
+                "",
+            ]
+        if failures:
+            lines.append("**%d regression(s):**" % len(failures))
+            lines += ["- %s" % failure for failure in failures]
+        else:
+            lines.append("all %d compared metrics within tolerance" % compared)
+        write_github_summary(lines)
 
     if failures:
         print("\n%d regression(s) against committed baselines:" % len(failures))

@@ -119,9 +119,15 @@ def amortization_table(title, make_program, runs=3, repeats=3,
     cached kernel rebound to new data.  Columns separate compile time
     from run time; the cache column shows the first run missing and
     every later run hitting.
+
+    Compiles are pinned to the memory tier (``cache="memory"``): this
+    table demonstrates in-process amortization, and a warmed
+    persistent store would otherwise turn the first row into a disk
+    hit (:func:`warm_start_table` measures that story instead).
     """
     if clear_cache:
         kernel_cache().clear()
+    compile_opts.setdefault("cache", "memory")
     table = Table(title, ["run", "compile (s)", "run (s)", "cache"])
     for position in range(runs):
         kernel, compile_s, hit = timed_compile(make_program(),
@@ -253,6 +259,89 @@ def throughput_table(title, program, datasets, executors=(
             "total_ops": result.total_ops,
             "bit_identical": same,
         }
+    return table, payload
+
+
+def warm_start_table(title, programs, store, repeats=1):
+    """Cold vs warm-process compile time against a persistent store.
+
+    ``programs`` is a sequence of ``(figure, label, make_program,
+    compile_opts)`` tuples (see
+    :func:`repro.bench.figures.warm_start_programs`); ``store`` is a
+    warmed :class:`~repro.store.KernelStore`.  For every entry the
+    table measures:
+
+    * **cold** — a full compile (``cache=False``), the price every
+      fresh process paid before the store existed, and
+    * **warm** — the same compile in a simulated fresh process: the
+      in-memory kernel cache is cleared and the store is the only
+      tier, so the compile either hits disk or pays full price.
+
+    Both kernels are run and their outputs compared bit-for-bit (a
+    disk-rebuilt kernel must be indistinguishable from a fresh one).
+    Returns ``(table, payload)``; the payload carries per-figure
+    times, the aggregate ``hit_rate`` over the warm compiles
+    (1.0 = the warm process compiled zero kernels), ``cold_compiles``
+    (store misses seen during the warm pass), and the store's
+    cumulative stats.  CI's ``bench-regression`` gate fails when
+    ``hit_rate`` drops: a silent fall-back to cold compiles is a
+    regression even when every kernel still runs fast.
+    """
+    from repro.store import using_store
+
+    table = Table(title, ["figure", "kernel", "cold (s)", "warm (s)",
+                          "speedup", "disk", "identical"])
+    payload = {"title": title, "figures": {}, "identical": True,
+               "store_root": store.root}
+    before = store.stats()
+    for figure, label, make_program, compile_opts in programs:
+        program = make_program()
+        best_cold = float("inf")
+        for _ in range(max(1, repeats)):
+            kernel_cache().clear()
+            start = time.perf_counter()
+            kernel = compile_kernel(program, cache=False,
+                                    **compile_opts)
+            best_cold = min(best_cold, time.perf_counter() - start)
+        kernel.run()
+        cold_outputs = _snapshot_outputs(program)
+
+        entry_before = store.stats()
+        warm_program = make_program()
+        kernel_cache().clear()
+        with using_store(store):
+            start = time.perf_counter()
+            warm_kernel = compile_kernel(warm_program, **compile_opts)
+            warm_s = time.perf_counter() - start
+        warm_kernel.run()
+        warm_outputs = _snapshot_outputs(warm_program)
+        entry_after = store.stats()
+        disk_hit = entry_after["hits"] > entry_before["hits"]
+
+        identical = len(cold_outputs) == len(warm_outputs)
+        for left, right in zip(cold_outputs, warm_outputs):
+            if (left.dtype != right.dtype or left.shape != right.shape
+                    or left.tobytes() != right.tobytes()):
+                identical = False
+        if not identical:
+            payload["identical"] = False
+        table.add(figure, label, best_cold, warm_s,
+                  speedup(best_cold, warm_s),
+                  "hit" if disk_hit else "MISS",
+                  "yes" if identical else "NO")
+        payload["figures"][figure + "/" + label] = {
+            "cold_compile_s": best_cold,
+            "warm_compile_s": warm_s,
+            "disk_hit": disk_hit,
+            "bit_identical": identical,
+        }
+    after = store.stats()
+    lookups = (after["hits"] - before["hits"]) + (after["misses"]
+                                                  - before["misses"])
+    payload["hit_rate"] = ((after["hits"] - before["hits"]) / lookups
+                           if lookups else 0.0)
+    payload["cold_compiles"] = after["misses"] - before["misses"]
+    payload["store"] = after
     return table, payload
 
 

@@ -175,19 +175,22 @@ def structural_key(stmt):
     return ("cin", body, signatures, buffer_alias_groups(slots))
 
 
-def structural_digest(key):
+def structural_digest(key, length=12):
     """A short, stable hex digest of a structural key (or any nested
-    key tuple), for log lines and error messages.
+    key tuple), for log lines, error messages, and store keys.
 
     Structural keys are deeply nested tuples — far too long to print —
     but operators debugging a batch failure or a cache anomaly need a
     stable handle to correlate kernels across processes and log lines.
-    Returns ``"?"`` for ``None`` so message formatting never branches.
+    ``length`` widens the digest for consumers that address content by
+    it (the persistent kernel store uses 40 hex chars); the default 12
+    keeps log lines short.  Returns ``"?"`` for ``None`` so message
+    formatting never branches.
     """
     if key is None:
         return "?"
     payload = repr(key).encode("utf-8")
-    return hashlib.sha1(payload).hexdigest()[:12]
+    return hashlib.sha1(payload).hexdigest()[:length]
 
 
 def buffer_alias_groups(tensors):

@@ -72,7 +72,16 @@ from repro.util.errors import BindingError, SpecError
 #: Version tag of the serialized-artifact format (see
 #: :meth:`CompiledKernel.to_spec`); bumped whenever the spec layout
 #: changes incompatibly.
-SPEC_VERSION = 1
+#: Version 2 added ``constant_loop_rewrite``: the flag changes what
+#: lowering emits, so any consumer keying artifacts by spec content
+#: (the on-disk kernel store) needs it carried in the spec itself.
+SPEC_VERSION = 2
+
+#: The values ``compile_kernel``'s ``cache`` argument accepts: ``True``
+#: uses every configured tier (memory LRU in front of the on-disk
+#: store), ``"memory"``/``"disk"`` restrict to one tier, ``False``
+#: always compiles fresh and touches no cache.
+CACHE_MODES = (True, False, "memory", "disk")
 
 
 def _plain(value):
@@ -103,12 +112,12 @@ class CompiledKernel:
     __slots__ = ("fn", "name", "source", "raw_source", "opt_level",
                  "plan", "seed_args", "seed_tensors", "signatures",
                  "alias_groups", "instrument", "compile_seconds",
-                 "structural_key", "slot_names")
+                 "structural_key", "slot_names", "constant_loop_rewrite")
 
     def __init__(self, fn, name, source, raw_source, opt_level, plan,
                  seed_args, seed_tensors, signatures, alias_groups,
                  instrument, compile_seconds, structural_key=None,
-                 slot_names=None):
+                 slot_names=None, constant_loop_rewrite=True):
         self.fn = fn
         self.name = name
         self.source = source
@@ -124,6 +133,7 @@ class CompiledKernel:
         self.structural_key = structural_key
         self.slot_names = tuple(slot_names) if slot_names \
             else ("?",) * len(signatures)
+        self.constant_loop_rewrite = bool(constant_loop_rewrite)
 
     def to_spec(self, slot_names=None):
         """The artifact as a plain, JSON-serializable dict.
@@ -177,6 +187,7 @@ class CompiledKernel:
             "signatures": _plain(self.signatures),
             "alias_groups": _plain(self.alias_groups),
             "instrument": self.instrument,
+            "constant_loop_rewrite": self.constant_loop_rewrite,
             "compile_seconds": self.compile_seconds,
             "structural_key": _plain(self.structural_key),
             "slot_names": list(slot_names),
@@ -216,6 +227,7 @@ class CompiledKernel:
             compile_seconds=spec["compile_seconds"],
             structural_key=_frozen(spec["structural_key"]),
             slot_names=spec.get("slot_names"),
+            constant_loop_rewrite=spec["constant_loop_rewrite"],
         )
 
     def validate(self, tensors):
@@ -509,6 +521,26 @@ class KernelCache:
             return key in self._entries
 
 
+def memory_cache_key(structural_key, instrument, name,
+                     constant_loop_rewrite, opt_level):
+    """The :data:`KERNEL_CACHE` key for one compile configuration.
+
+    The single definition of the key shape, shared by
+    ``compile_kernel`` and every out-of-band cache warmer
+    (:func:`repro.store.pack.load_pack`) — the two must never drift,
+    or pre-warmed entries silently stop hitting.
+    """
+    return (structural_key, bool(instrument), name,
+            bool(constant_loop_rewrite), int(opt_level))
+
+
+def artifact_cache_key(artifact):
+    """:func:`memory_cache_key` of a live :class:`CompiledKernel`."""
+    return memory_cache_key(
+        artifact.structural_key, artifact.instrument, artifact.name,
+        artifact.constant_loop_rewrite, artifact.opt_level)
+
+
 #: The process-wide artifact cache used by ``compile_kernel``.
 KERNEL_CACHE = KernelCache()
 
@@ -587,6 +619,7 @@ def _compile_artifact(program, tensors, instrument, name,
         compile_seconds=time.perf_counter() - start,
         structural_key=structural_key,
         slot_names=tuple(getattr(t, "name", "?") for t in tensors),
+        constant_loop_rewrite=constant_loop_rewrite,
     )
 
 
@@ -609,10 +642,16 @@ def compile_kernel(program, instrument=False, name="kernel",
     """Compile one CIN program into a :class:`Kernel`.
 
     With ``cache=True`` (the default) the compiled artifact is looked
-    up in — and stored into — the process-wide :class:`KernelCache`,
-    so structurally-identical programs compile once and rebind many
-    times.  ``cache=False`` always compiles fresh and leaves the cache
-    (and its statistics) untouched.
+    up in — and stored into — every configured cache tier: the
+    process-wide :class:`KernelCache` first, then the persistent
+    on-disk :class:`~repro.store.KernelStore` (when one is configured
+    via :func:`repro.store.configure_store` or the ``FL_KERNEL_STORE``
+    environment variable).  A disk hit rebuilds the artifact from its
+    serialized spec and promotes it into the memory tier; a full miss
+    compiles fresh and writes the artifact behind into both tiers.
+    ``cache="memory"`` and ``cache="disk"`` restrict the lookup to one
+    tier, and ``cache=False`` always compiles fresh and leaves every
+    cache (and its statistics) untouched.
 
     ``opt_level`` selects the target-IR optimizer pipeline
     (:mod:`repro.ir.optimize`): 0 emits the lowered code untouched, 1
@@ -626,19 +665,49 @@ def compile_kernel(program, instrument=False, name="kernel",
     if opt_level is None:
         opt_level = DEFAULT_OPT_LEVEL
     opt_level = int(opt_level)
+    # Identity comparison: `1 in (True, ...)` would pass by equality
+    # and then silently disable every tier below.
+    if not any(cache is mode for mode in CACHE_MODES):
+        raise ValueError(
+            "cache must be True, False, 'memory', or 'disk'; got %r"
+            % (cache,))
+    use_memory = cache is True or cache == "memory"
+    use_disk = cache is True or cache == "disk"
     skey = structural_key(program)
     key = None
-    if cache:
-        key = (skey, bool(instrument), name,
-               bool(constant_loop_rewrite), opt_level)
+    if use_memory:
+        key = memory_cache_key(skey, instrument, name,
+                               constant_loop_rewrite, opt_level)
         artifact = KERNEL_CACHE.lookup(key)
         if artifact is not None:
             return Kernel(artifact, tensors, program, from_cache=True)
+    store = None
+    if use_disk:
+        # Imported lazily: repro.store rebuilds artifacts through this
+        # module, so a top-level import would be circular.
+        from repro.store import active_store
+
+        store = active_store()
+        if store is not None:
+            artifact = store.load_artifact(store.key_meta(
+                skey, instrument=bool(instrument), name=name,
+                constant_loop_rewrite=bool(constant_loop_rewrite),
+                opt_level=opt_level))
+            if artifact is not None:
+                if key is not None:
+                    KERNEL_CACHE.store(key, artifact)
+                return Kernel(artifact, tensors, program,
+                              from_cache=True)
     artifact = _compile_artifact(program, tensors, instrument, name,
                                  constant_loop_rewrite, opt_level,
                                  structural_key=skey)
     if key is not None:
         KERNEL_CACHE.store(key, artifact)
+    if store is not None:
+        # Write-behind: persists the spec for future processes; a
+        # kernel that cannot leave the process (SpecError) is simply
+        # not persisted.
+        store.save_artifact(artifact)
     return Kernel(artifact, tensors, program)
 
 

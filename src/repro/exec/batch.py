@@ -205,15 +205,17 @@ class KernelPool:
             return self._spec
 
     # -- statistics ----------------------------------------------------
-    def _record(self, worker, ops, seconds, spec_rebuild):
+    def _record(self, worker, ops, seconds, spec_rebuild,
+                store_hit=False):
         with self._stats_lock:
             entry = self._worker_stats.setdefault(
                 worker, {"runs": 0, "ops": 0, "seconds": 0.0,
-                         "spec_rebuilds": 0})
+                         "spec_rebuilds": 0, "store_hits": 0})
             entry["runs"] += 1
             entry["ops"] += ops or 0
             entry["seconds"] += seconds
             entry["spec_rebuilds"] += 1 if spec_rebuild else 0
+            entry["store_hits"] += 1 if store_hit else 0
 
     def stats(self):
         """Cumulative per-worker and aggregate execution statistics.
@@ -233,6 +235,8 @@ class KernelPool:
             "ops": sum(e["ops"] for e in workers.values()),
             "spec_rebuilds": sum(e["spec_rebuilds"]
                                  for e in workers.values()),
+            "store_hits": sum(e.get("store_hits", 0)
+                              for e in workers.values()),
             "workers": workers,
         }
 
@@ -393,7 +397,8 @@ class KernelPool:
                              payload["ops"], payload["worker"],
                              payload["seconds"])
             self._record(item.worker, item.ops, item.seconds,
-                         payload["spec_rebuild"])
+                         payload["spec_rebuild"],
+                         payload.get("store_hit", False))
             items.append(item)
         return items
 

@@ -9,6 +9,14 @@ source, the binding plan, and the per-slot format signatures.  The
 worker re-``exec``\\ s the source once, memoizes the rebuilt artifact
 in a per-process cache, and binds it to each incoming dataset.
 
+When a persistent kernel store is configured (``FL_KERNEL_STORE`` in
+the environment workers inherit, or an explicit
+:func:`repro.store.configure_store` under the fork start method), the
+worker warm-starts from disk before rebuilding from the shipped spec:
+a store hit loads the persisted entry, a miss rebuilds from the spec
+and writes the entry behind — so the *next* fleet of workers, in any
+future process, starts warm.
+
 Everything here must stay importable at module top level so
 ``concurrent.futures.ProcessPoolExecutor`` can pickle task references
 under any start method (fork, spawn, forkserver).
@@ -28,24 +36,38 @@ _ARTIFACTS = {}
 def _spec_key(spec):
     """A hashable identity for one serialized artifact."""
     return (spec["name"], spec["source"], repr(spec["plan"]),
-            spec["instrument"], spec["opt_level"])
+            spec["instrument"], spec["opt_level"],
+            spec["constant_loop_rewrite"])
 
 
 def artifact_from_spec(spec):
     """The rebuilt artifact for ``spec``, memoized per process.
 
-    Returns ``(artifact, cached)`` where ``cached`` says whether the
-    re-``exec`` was skipped (the per-worker artifact cache hit).
+    Returns ``(artifact, cached, store_hit)``: ``cached`` says the
+    re-``exec`` was skipped entirely (the per-worker memo hit);
+    ``store_hit`` says the rebuild came off the persistent disk store
+    rather than the shipped spec.  A store miss writes the spec behind
+    so future worker fleets warm-start.
     """
     from repro.compiler.kernel import CompiledKernel
+    from repro.store import active_store, meta_for_spec
 
     key = _spec_key(spec)
     artifact = _ARTIFACTS.get(key)
     if artifact is not None:
-        return artifact, True
-    artifact = CompiledKernel.from_spec(spec)
+        return artifact, True, False
+    store = active_store()
+    store_hit = False
+    if store is not None:
+        meta = meta_for_spec(spec)
+        artifact = store.load_artifact(meta)
+        store_hit = artifact is not None
+    if artifact is None:
+        artifact = CompiledKernel.from_spec(spec)
+        if store is not None:
+            store.save_spec(meta, spec)
     _ARTIFACTS[key] = artifact
-    return artifact, False
+    return artifact, False, store_hit
 
 
 def snapshot_tensor(tensor):
@@ -71,7 +93,7 @@ def run_spec_task(spec, tensors, index, output_slots):
     needs to assemble a :class:`repro.exec.batch.BatchItem`.
     """
     start = time.perf_counter()
-    artifact, cached = artifact_from_spec(spec)
+    artifact, cached, store_hit = artifact_from_spec(spec)
     args = artifact.bind(tensors)
     result = artifact.fn(*args)
     outputs = [snapshot_tensor(tensors[slot]) for slot in output_slots]
@@ -84,4 +106,5 @@ def run_spec_task(spec, tensors, index, output_slots):
         "worker": "pid-%d" % os.getpid(),
         "seconds": time.perf_counter() - start,
         "spec_rebuild": not cached,
+        "store_hit": store_hit,
     }

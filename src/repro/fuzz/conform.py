@@ -18,6 +18,13 @@ must agree bit-for-bit:
     with ``from_spec`` (a fresh ``exec`` of the carried source), and
     rebound to fresh tensors.
 
+``store_roundtrip``
+    The ``compiled@2`` artifact persisted into an on-disk
+    :class:`~repro.store.KernelStore` (one per process, in a temp
+    directory), loaded back by store key, and rebound to fresh
+    tensors — the disk tier's write/read/rebuild path must be
+    bit-identical too.
+
 ``batch_serial`` / ``batch_threads`` / ``batch_processes``
     :func:`repro.exec.batch.run_batch` mapping the kernel over several
     fresh copies of the dataset under each executor; every per-dataset
@@ -29,6 +36,9 @@ intermediate is exact in float64 and all comparisons demand
 divergence behind.
 """
 
+import atexit
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -40,8 +50,8 @@ from repro.fuzz.gen import build_case, describe_spec, generate_spec
 
 #: Oracle names, in execution order.
 ORACLES = ("interpreter", "compiled@0", "compiled@1", "compiled@2",
-           "spec_roundtrip", "batch_serial", "batch_threads",
-           "batch_processes")
+           "spec_roundtrip", "store_roundtrip", "batch_serial",
+           "batch_threads", "batch_processes")
 
 #: Per-profile batch shape: (datasets per batch, workers).
 _BATCH_SHAPE = {"quick": (2, 2), "deep": (3, 3)}
@@ -138,6 +148,41 @@ def _run_spec_roundtrip(spec):
     return case.output_array(), int(n_ops)
 
 
+_STORE = None
+
+
+def _oracle_store():
+    """One throwaway on-disk store per process, for the disk-tier
+    oracle (created lazily, removed at interpreter exit)."""
+    global _STORE
+    if _STORE is None:
+        from repro.store import KernelStore
+
+        root = tempfile.mkdtemp(prefix="fl-conform-store-")
+        atexit.register(shutil.rmtree, root, ignore_errors=True)
+        _STORE = KernelStore(root)
+    return _STORE
+
+
+def _run_store_roundtrip(spec):
+    """Output of the artifact after a disk-store write/read cycle."""
+    from repro.store import meta_for_artifact
+
+    case = build_case(spec)
+    kernel = compile_kernel(case.program, instrument=True, opt_level=2)
+    store = _oracle_store()
+    if store.save_artifact(kernel.artifact) is None:
+        raise RuntimeError("artifact refused to serialize for the "
+                           "store tier")
+    rebuilt = store.load_artifact(meta_for_artifact(kernel.artifact))
+    if rebuilt is None:
+        raise RuntimeError("store round-trip read back a miss for an "
+                           "entry written this call")
+    view = Kernel(rebuilt, case.slot_tensors(), case.program)
+    n_ops = view.run()
+    return case.output_array(), int(n_ops)
+
+
 def _run_batch_oracle(spec, executor, count, workers):
     """Per-dataset snapshots and total ops under one batch executor."""
     template_case = build_case(spec)
@@ -197,6 +242,20 @@ def conform_spec(spec, profile="quick"):
     except Exception as exc:
         divergences.append(Divergence(
             "interpreter", "spec_roundtrip", "crash",
+            "%s: %s" % (type(exc).__name__, exc)))
+
+    oracles_run.append("store_roundtrip")
+    try:
+        got, n_ops = _run_store_roundtrip(spec)
+        _compare(divergences, "interpreter", "store_roundtrip",
+                 expected, got)
+        if 2 in compiled_ops and n_ops != compiled_ops[2]:
+            divergences.append(Divergence(
+                "compiled@2", "store_roundtrip", "op count",
+                "%d vs %d" % (compiled_ops[2], n_ops)))
+    except Exception as exc:
+        divergences.append(Divergence(
+            "interpreter", "store_roundtrip", "crash",
             "%s: %s" % (type(exc).__name__, exc)))
 
     count, workers = _BATCH_SHAPE.get(profile, _BATCH_SHAPE["quick"])

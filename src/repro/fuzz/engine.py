@@ -10,7 +10,7 @@ corpus.  Everything is deterministic in (seed, budget, profile).
 import time
 
 from repro.fuzz import corpus as corpus_mod
-from repro.fuzz.conform import conform_spec
+from repro.fuzz.conform import ORACLES, conform_spec
 from repro.fuzz.gen import describe_spec, generate_spec
 from repro.fuzz.shrink import shrink_spec
 
@@ -64,7 +64,7 @@ class CampaignResult:
                 self.seed, self.budget, self.profile),
             "cases: %d conformed in %.1fs (%.0f oracle runs)" % (
                 self.cases, self.seconds,
-                self.cases * 8),
+                self.cases * len(ORACLES)),
         ]
         if self.ok:
             lines.append("result: PASS — zero divergences across all "

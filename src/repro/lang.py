@@ -59,6 +59,12 @@ from repro.exec import (
     run_batch,
 )
 from repro.ir import MISSING, ops
+from repro.store import (
+    KernelStore,
+    active_store,
+    configure_store,
+    load_pack,
+)
 from repro.tensors.output import RunOutput, SparseOutput
 from repro.tensors import (
     Scalar,
@@ -92,6 +98,7 @@ __all__ = [
     "window", "CompiledKernel", "Kernel", "KernelCache",
     "compile_kernel", "execute", "kernel_cache", "MISSING", "ops",
     "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "run_batch",
+    "KernelStore", "active_store", "configure_store", "load_pack",
     "fuzz_one", "run_fuzz",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",

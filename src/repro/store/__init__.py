@@ -1,0 +1,134 @@
+"""Persistent kernel storage: the on-disk store and AOT kernel packs.
+
+Two artifacts live here, both built on the serialized kernel spec
+(:meth:`repro.compiler.kernel.CompiledKernel.to_spec`):
+
+:class:`KernelStore` (:mod:`repro.store.disk`)
+    A content-addressed directory of compiled-kernel specs, layered
+    *under* the in-memory LRU cache by ``compile_kernel``: memory miss
+    → disk lookup → full compile, with every fresh compile written
+    behind.  Safe for many processes to share (atomic writes, advisory
+    locking, quarantine-on-corruption, LRU eviction by size budget).
+
+``.flpack`` kernel packs (:mod:`repro.store.pack`)
+    A single relocatable zip of specs plus a manifest — the
+    ahead-of-time compilation unit.  CI's ``warm-kernels`` job builds
+    one from the benchmark figures and the fuzz corpus; downstream
+    jobs (and :func:`load_pack` callers) import it so their processes
+    start warm and compile nothing.
+
+Configuration is process-global, mirroring the memory tier:
+:func:`configure_store` installs a store programmatically, the
+``FL_KERNEL_STORE`` environment variable (plus optional
+``FL_KERNEL_STORE_MAX_BYTES``) points short-lived processes — batch
+workers, CI jobs, serverless handlers — at a shared directory, and
+``compile_kernel(cache="memory"|"disk"|False)`` opts out per call.
+
+The CLI lives in :mod:`repro.store.__main__`::
+
+    python -m repro.store pack --out kernels.flpack
+    python -m repro.store warm --store .fl_store --pack kernels.flpack
+    python -m repro.store verify kernels.flpack
+    python -m repro.store ls --store .fl_store
+    python -m repro.store stats --store .fl_store --min-hit-rate 0.9
+"""
+
+import os
+from contextlib import contextmanager
+
+from repro.store.disk import (
+    KernelStore,
+    codegen_fingerprint,
+    entry_digest,
+    meta_for_artifact,
+    meta_for_spec,
+    store_key_meta,
+)
+from repro.store.pack import (
+    PACK_VERSION,
+    load_pack,
+    read_pack,
+    verify_pack,
+    write_pack,
+)
+
+#: Environment variables configuring the default store.
+ENV_STORE = "FL_KERNEL_STORE"
+ENV_MAX_BYTES = "FL_KERNEL_STORE_MAX_BYTES"
+
+_configured = False
+_active = None
+
+
+def configure_store(path, max_bytes=None):
+    """Install (or disable) the process-wide kernel store.
+
+    ``path`` may be a directory path, an existing :class:`KernelStore`,
+    or None to disable disk caching for the process regardless of the
+    environment.  Returns the active store (or None).  Overrides the
+    ``FL_KERNEL_STORE`` environment variable until called again;
+    :func:`reset_store_config` restores environment-driven behavior.
+    """
+    global _configured, _active
+    if path is None:
+        store = None
+    elif isinstance(path, KernelStore):
+        store = path
+    else:
+        store = KernelStore(path, max_bytes=max_bytes)
+    _configured = True
+    _active = store
+    return store
+
+
+def reset_store_config():
+    """Forget :func:`configure_store`; fall back to the environment."""
+    global _configured, _active
+    _configured = False
+    _active = None
+
+
+def active_store():
+    """The store ``compile_kernel`` should use right now, or None.
+
+    An explicit :func:`configure_store` wins; otherwise the
+    ``FL_KERNEL_STORE`` environment variable is consulted on every
+    call (so spawned workers and subprocesses inherit the parent's
+    store with no code changes).
+    """
+    global _active
+    if _configured:
+        return _active
+    path = os.environ.get(ENV_STORE)
+    if not path:
+        return None
+    max_bytes = os.environ.get(ENV_MAX_BYTES)
+    max_bytes = int(max_bytes) if max_bytes else None
+    if (_active is None or _active.root != os.path.abspath(path)
+            or _active.max_bytes != max_bytes):
+        _active = KernelStore(path, max_bytes=max_bytes)
+    return _active
+
+
+@contextmanager
+def using_store(store):
+    """Temporarily make ``store`` (a path, store, or None) active.
+
+    The benchmark harness and the tests use this to point one compile
+    at one store without leaking process-global state.
+    """
+    global _configured, _active
+    previous = (_configured, _active)
+    try:
+        yield configure_store(store)
+    finally:
+        _configured, _active = previous
+
+
+__all__ = [
+    "KernelStore", "PACK_VERSION", "active_store",
+    "codegen_fingerprint", "configure_store", "entry_digest",
+    "load_pack", "meta_for_artifact", "meta_for_spec", "read_pack",
+    "reset_store_config", "store_key_meta", "using_store",
+    "verify_pack", "write_pack",
+]

@@ -1,0 +1,448 @@
+"""The persistent on-disk kernel store: compile anywhere, once ever.
+
+The in-memory :class:`~repro.compiler.kernel.KernelCache` amortizes
+compilation *within* a process and the batch engine's spec shipping
+amortizes it *across workers of one pool*; this module closes the last
+gap — across processes and across time.  A :class:`KernelStore` is a
+directory of content-addressed entries, each holding one serialized
+:meth:`~repro.compiler.kernel.CompiledKernel.to_spec` payload under a
+digest of everything that decides whether a cached kernel is still the
+kernel the current code would compile:
+
+* the program's structural key (tree shape + per-slot format
+  signatures + alias groups, via
+  :func:`repro.cin.analyze.structural_digest`),
+* the compile flags (``instrument``, ``name``,
+  ``constant_loop_rewrite``, ``opt_level``),
+* :func:`repro.ir.ops.registry_version` — late-registered ops change
+  the runtime namespace kernels ``exec`` against,
+* the optimizer-pipeline fingerprint
+  (:func:`repro.ir.optimize.pipeline_fingerprint`) plus a codegen
+  fingerprint over the lowering/emission modules — a compiler change
+  must read as a miss, never as a stale hit, and
+* the spec layout version.
+
+Durability discipline (fleets of short-lived processes race on one
+store directory):
+
+* **atomic writes** — entries are written to a ``.tmp.<pid>`` sibling
+  and ``os.replace``d into place, so a reader never observes a half
+  written entry;
+* **advisory locking** — mutations (writes, eviction, the persisted
+  stats counters) run under an ``fcntl`` lock on ``.lock``; lookups
+  read lock-free and rely on the atomic rename;
+* **corruption tolerance** — an unreadable or mismatched entry is a
+  *miss*: it is moved into ``quarantine/`` (never deleted — it is
+  evidence) and the caller recompiles;
+* **LRU eviction** — ``max_bytes`` bounds the entry payload; hits
+  touch the entry mtime and eviction removes oldest-mtime entries
+  first;
+* **persisted stats** — ``hits``/``misses``/``writes``/``evictions``/
+  ``quarantined`` accumulate in ``stats.json`` across processes, so a
+  CI job can assert its warm-start hit rate after the workload exits.
+"""
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from contextlib import contextmanager
+
+from repro.cin.analyze import structural_digest
+from repro.ir.ops import registry_version
+from repro.ir.optimize import pipeline_fingerprint
+from repro.util.errors import SpecError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Bumped when the on-disk entry layout changes incompatibly.
+STORE_VERSION = 1
+
+#: Filename prefix of one store entry.
+_ENTRY_PREFIX = "k_"
+
+#: Source modules whose changes invalidate every stored kernel: the
+#: lowering pipeline, the target IR, and the runtime namespace emitted
+#: code executes against.  The optimizer pipeline hashes itself (see
+#: :func:`repro.ir.optimize.pipeline_fingerprint`).
+_CODEGEN_MODULES = (
+    "repro.compiler.lower",
+    "repro.compiler.unfurl",
+    "repro.compiler.stmt_simplify",
+    "repro.compiler.context",
+    "repro.ir.asm",
+    "repro.ir.emit",
+    "repro.ir.runtime",
+)
+
+_CODEGEN_FINGERPRINT = None
+
+
+def codegen_fingerprint():
+    """A short digest over the code-generation modules.
+
+    Combined with :func:`~repro.ir.optimize.pipeline_fingerprint` in
+    every store key: editing the lowerer or the emitter must turn all
+    previously stored kernels into misses.
+    """
+    global _CODEGEN_FINGERPRINT
+    if _CODEGEN_FINGERPRINT is None:
+        import importlib
+
+        digest = hashlib.sha256()
+        for name in _CODEGEN_MODULES:
+            module = importlib.import_module(name)
+            path = getattr(module, "__file__", None)
+            try:
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+            except (OSError, TypeError):  # pragma: no cover
+                digest.update(name.encode("utf-8"))
+        _CODEGEN_FINGERPRINT = digest.hexdigest()[:16]
+    return _CODEGEN_FINGERPRINT
+
+
+def store_key_meta(structural_key, instrument, name,
+                   constant_loop_rewrite, opt_level):
+    """The plain-dict store key for one compile configuration.
+
+    Carries every version axis the store invalidates on; two metas are
+    the same entry exactly when their canonical-JSON digests match
+    (:func:`entry_digest`).
+    """
+    from repro.compiler.kernel import SPEC_VERSION
+
+    return {
+        "store_version": STORE_VERSION,
+        "spec_version": SPEC_VERSION,
+        "structural_digest": structural_digest(structural_key,
+                                               length=40),
+        "instrument": bool(instrument),
+        "name": str(name),
+        "constant_loop_rewrite": bool(constant_loop_rewrite),
+        "opt_level": int(opt_level),
+        "registry_version": registry_version(),
+        "pipeline_fingerprint": pipeline_fingerprint(),
+        "codegen_fingerprint": codegen_fingerprint(),
+    }
+
+
+def meta_for_artifact(artifact):
+    """The store key of a live :class:`CompiledKernel`."""
+    return store_key_meta(
+        artifact.structural_key, artifact.instrument, artifact.name,
+        artifact.constant_loop_rewrite, artifact.opt_level)
+
+
+def meta_for_spec(spec):
+    """The store key of a serialized artifact (a ``to_spec`` dict).
+
+    Lets a process-pool worker (which receives only the spec) consult
+    the store before re-``exec``-ing, and write behind afterwards.
+    """
+    from repro.compiler.kernel import _frozen
+
+    return store_key_meta(
+        _frozen(spec["structural_key"]), spec["instrument"],
+        spec["name"], spec["constant_loop_rewrite"],
+        spec["opt_level"])
+
+
+def entry_digest(meta):
+    """The content digest (and filename stem) of one store key."""
+    payload = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
+
+
+class KernelStore:
+    """A concurrency-safe, size-bounded directory of kernel specs.
+
+    ``root`` is created on first use.  ``max_bytes`` bounds the summed
+    entry size (None = unbounded); the least recently *used* entries
+    are evicted first.  All statistics counters persist in the store
+    directory and aggregate across every process that used it.
+    """
+
+    def __init__(self, root, max_bytes=None):
+        self.root = os.path.abspath(root)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError:
+            # Uncreatable root (read-only parent): every lookup will
+            # miss and every write will degrade to a no-op, which is
+            # the right failure mode for a cache tier configured via
+            # environment variable.
+            pass
+        self._lock_path = os.path.join(self.root, ".lock")
+        self._stats_path = os.path.join(self.root, "stats.json")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+
+    def __repr__(self):
+        return "KernelStore(%r, max_bytes=%r)" % (self.root,
+                                                  self.max_bytes)
+
+    # -- locking and counters ------------------------------------------
+    @contextmanager
+    def _lock(self):
+        """Advisory exclusive lock over every store mutation.
+
+        Best effort: on a read-only store directory (a prewarmed store
+        mounted into a fleet container) the lock file cannot be opened
+        for append — readers proceed unlocked rather than crashing,
+        since the atomic-rename write protocol keeps entry reads safe
+        without it.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        try:
+            handle = open(self._lock_path, "a+")
+        except OSError:
+            yield
+            return
+        with handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _read_counters(self):
+        try:
+            with open(self._stats_path) as handle:
+                counters = json.load(handle)
+        except (OSError, ValueError):
+            counters = {}
+        return {name: int(counters.get(name, 0))
+                for name in ("hits", "misses", "writes", "evictions",
+                             "quarantined")}
+
+    def _bump(self, **deltas):
+        """Atomically increment the persisted counters (under lock).
+
+        Dropped silently when the store is unwritable: losing counter
+        updates on a read-only mount must never break a compile.
+        """
+        try:
+            with self._lock():
+                counters = self._read_counters()
+                for name, delta in deltas.items():
+                    counters[name] = counters.get(name, 0) + delta
+                tmp = self._stats_path + ".tmp.%d" % os.getpid()
+                with open(tmp, "w") as handle:
+                    json.dump(counters, handle)
+                os.replace(tmp, self._stats_path)
+        except OSError:
+            pass
+
+    # -- keys and paths ------------------------------------------------
+    def key_meta(self, structural_key, instrument, name,
+                 constant_loop_rewrite, opt_level):
+        """See :func:`store_key_meta` (instance-method convenience)."""
+        return store_key_meta(structural_key, instrument, name,
+                              constant_loop_rewrite, opt_level)
+
+    def _entry_path(self, meta):
+        return os.path.join(self.root,
+                            _ENTRY_PREFIX + entry_digest(meta) + ".json")
+
+    def _entry_files(self):
+        """(path, size, mtime) of every entry, oldest mtime first."""
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            if not (name.startswith(_ENTRY_PREFIX)
+                    and name.endswith(".json")):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted
+            entries.append((path, info.st_size, info.st_mtime))
+        entries.sort(key=lambda item: (item[2], item[0]))
+        return entries
+
+    # -- reads ---------------------------------------------------------
+    def load_spec(self, meta):
+        """The stored spec for ``meta``, or None (counts a miss).
+
+        Any defect — unreadable file, malformed JSON, an entry whose
+        recorded key does not match — quarantines the entry and reads
+        as a miss, so one corrupt file can never poison compiles.
+        """
+        path = self._entry_path(meta)
+        if not os.path.exists(path):
+            self._bump(misses=1)
+            return None
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+            if entry.get("store_version") != STORE_VERSION:
+                raise ValueError("store version mismatch")
+            if entry.get("key") != meta:
+                raise ValueError("entry key does not match its digest")
+            spec = entry["spec"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self._bump(misses=1, quarantined=1)
+            return None
+        try:
+            os.utime(path)  # LRU touch: recently used entries survive
+        except OSError:
+            pass
+        self._bump(hits=1)
+        return spec
+
+    def load_artifact(self, meta):
+        """The rebuilt :class:`CompiledKernel` for ``meta``, or None.
+
+        A spec that no longer rebuilds (its carried source fails to
+        ``exec``) is quarantined exactly like a corrupt file — and the
+        hit already counted for it is taken back.
+        """
+        from repro.compiler.kernel import CompiledKernel
+
+        spec = self.load_spec(meta)
+        if spec is None:
+            return None
+        try:
+            return CompiledKernel.from_spec(spec)
+        except Exception:
+            self._quarantine(self._entry_path(meta))
+            self._bump(hits=-1, misses=1, quarantined=1)
+            return None
+
+    def _quarantine(self, path):
+        """Move a defective entry aside (never delete: it is the repro
+        for whatever corrupted it)."""
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            target = os.path.join(
+                self.quarantine_dir,
+                "%s.%d.%d" % (os.path.basename(path), os.getpid(),
+                              int(time.time() * 1e6)))
+            os.replace(path, target)
+        except OSError:
+            pass  # another process already moved or evicted it
+
+    # -- writes --------------------------------------------------------
+    def save_artifact(self, artifact):
+        """Persist one compiled artifact; returns the entry path.
+
+        Kernels that cannot leave the process (:class:`SpecError`:
+        identity-pinned signatures, out-of-protocol buffers) are
+        silently skipped — the store is a cache, not a registry.
+        """
+        try:
+            spec = artifact.to_spec()
+        except SpecError:
+            return None
+        return self.save_spec(meta_for_artifact(artifact), spec)
+
+    def save_spec(self, meta, spec):
+        """Persist one serialized spec under ``meta``; returns the
+        entry path.  Atomic (tmp + rename) and evicts LRU entries past
+        ``max_bytes`` before releasing the lock."""
+        path = self._entry_path(meta)
+        payload = json.dumps(
+            {"store_version": STORE_VERSION, "key": meta,
+             "spec": spec},
+            sort_keys=True, separators=(",", ":"))
+        try:
+            with self._lock():
+                tmp = path + ".tmp.%d" % os.getpid()
+                with open(tmp, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+                evicted = self._evict_locked(keep=path)
+        except OSError:
+            # An unwritable store (read-only fleet mount, disk full)
+            # degrades to a read-only tier: the compile that wanted to
+            # write behind still succeeded.
+            return None
+        self._bump(writes=1, evictions=evicted)
+        return path
+
+    def _evict_locked(self, keep=None):
+        """Drop oldest entries until under ``max_bytes``; returns the
+        eviction count.  ``keep`` (the just-written entry) is never
+        evicted — a store must be able to hold at least one kernel."""
+        if self.max_bytes is None:
+            return 0
+        entries = self._entry_files()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for path, size, _ in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted
+
+    # -- inspection ----------------------------------------------------
+    def entries(self):
+        """Parsed ``(path, key-meta)`` pairs of every readable entry."""
+        listed = []
+        for path, _, _ in self._entry_files():
+            try:
+                with open(path) as handle:
+                    entry = json.load(handle)
+                listed.append((path, entry["key"]))
+            except (OSError, ValueError, KeyError):
+                continue
+        return listed
+
+    def clear(self):
+        """Drop every entry, the quarantine, and the counters."""
+        with self._lock():
+            for path, _, _ in self._entry_files():
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            shutil.rmtree(self.quarantine_dir, ignore_errors=True)
+            try:
+                os.remove(self._stats_path)
+            except OSError:
+                pass
+
+    def stats(self):
+        """Persisted counters plus live occupancy.
+
+        ``hits``/``misses``/... aggregate across every process that
+        ever used this store directory; ``hit_rate`` is their ratio
+        (0.0 before any lookup).  ``entries``/``bytes`` are measured
+        from the directory right now.
+        """
+        counters = self._read_counters()
+        files = self._entry_files()
+        lookups = counters["hits"] + counters["misses"]
+        quarantined = 0
+        try:
+            quarantined = len(os.listdir(self.quarantine_dir))
+        except OSError:
+            pass
+        counters.update({
+            "entries": len(files),
+            "bytes": sum(size for _, size, _ in files),
+            "max_bytes": self.max_bytes,
+            "hit_rate": (counters["hits"] / lookups) if lookups else 0.0,
+            "quarantine_files": quarantined,
+            "root": self.root,
+        })
+        return counters

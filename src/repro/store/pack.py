@@ -1,0 +1,320 @@
+"""AOT kernel packs: a relocatable ``.flpack`` of compiled specs.
+
+A pack is a zip with one ``manifest.json`` plus one
+``specs/<digest>.json`` per kernel, where ``<digest>`` is the store's
+content digest of the entry's key (:func:`repro.store.disk.
+entry_digest`) — the same addressing a :class:`~repro.store.disk.
+KernelStore` uses, so importing a pack into a store is a rename-free
+copy.  The manifest records the version axes the pack was built under
+(spec layout, op-registry version, optimizer/codegen fingerprints);
+:func:`load_pack` skips entries whose axes no longer match instead of
+serving stale kernels.
+
+Packs are built from the two kernel populations CI exercises on every
+run: the benchmark figure suite (via
+:func:`repro.bench.figures.pack_programs`) and the fuzz corpus plus a
+deterministic fuzz campaign (the same seeds the ``fuzz-smoke`` job
+replays).  A ``warm-kernels`` CI job compiles everything once into a
+pack, uploads it, and every downstream job warms its store from the
+artifact — so the expensive specialize-and-optimize work happens in
+exactly one place per pipeline.
+"""
+
+import json
+import zipfile
+
+from repro.store.disk import (
+    STORE_VERSION,
+    entry_digest,
+    meta_for_artifact,
+)
+
+#: Bumped when the pack layout changes incompatibly.
+PACK_VERSION = 1
+
+
+class PackError(ValueError):
+    """A ``.flpack`` could not be read, verified, or loaded."""
+
+
+def _current_axes():
+    """The version axes of the running code, as manifest fields."""
+    from repro.compiler.kernel import SPEC_VERSION
+    from repro.ir.ops import registry_version
+    from repro.ir.optimize import pipeline_fingerprint
+    from repro.store.disk import codegen_fingerprint
+
+    return {
+        "store_version": STORE_VERSION,
+        "spec_version": SPEC_VERSION,
+        "registry_version": registry_version(),
+        "pipeline_fingerprint": pipeline_fingerprint(),
+        "codegen_fingerprint": codegen_fingerprint(),
+    }
+
+
+def _meta_axes(meta):
+    return {
+        "store_version": meta.get("store_version"),
+        "spec_version": meta.get("spec_version"),
+        "registry_version": meta.get("registry_version"),
+        "pipeline_fingerprint": meta.get("pipeline_fingerprint"),
+        "codegen_fingerprint": meta.get("codegen_fingerprint"),
+    }
+
+
+def write_pack(path, entries, note=""):
+    """Write ``entries`` as one ``.flpack``; returns a summary dict.
+
+    Each entry is a dict with ``key`` (store key meta), ``spec`` (the
+    serialized artifact) and optional ``figure``/``label`` provenance.
+    Entries are deduplicated by content digest — the figure registry
+    legitimately names one kernel twice (e.g. a kernel shared by two
+    benchmark tests).
+    """
+    manifest_entries = []
+    by_digest = {}
+    for entry in entries:
+        digest = entry_digest(entry["key"])
+        if digest in by_digest:
+            continue
+        by_digest[digest] = entry
+        manifest_entries.append({
+            "digest": digest,
+            "figure": entry.get("figure", ""),
+            "label": entry.get("label", ""),
+            "name": entry["spec"]["name"],
+            "opt_level": entry["spec"]["opt_level"],
+            "instrument": entry["spec"]["instrument"],
+            "structural_digest": entry["key"]["structural_digest"],
+        })
+    manifest = dict(_current_axes())
+    manifest.update({
+        "pack_version": PACK_VERSION,
+        "note": note,
+        "count": len(manifest_entries),
+        "entries": manifest_entries,
+    })
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("manifest.json",
+                         json.dumps(manifest, indent=2, sort_keys=True))
+        for digest, entry in sorted(by_digest.items()):
+            archive.writestr(
+                "specs/%s.json" % digest,
+                json.dumps({"key": entry["key"], "spec": entry["spec"],
+                            "figure": entry.get("figure", ""),
+                            "label": entry.get("label", "")},
+                           sort_keys=True, separators=(",", ":")))
+    return {"path": path, "count": len(manifest_entries)}
+
+
+def read_pack(path):
+    """``(manifest, entries)`` of one pack, digests verified.
+
+    Raises :class:`PackError` when the manifest is unreadable, an
+    entry named by the manifest is missing, or an entry's recorded key
+    no longer hashes to its digest (bit rot or tampering).
+    """
+    try:
+        with zipfile.ZipFile(path) as archive:
+            try:
+                manifest = json.loads(archive.read("manifest.json"))
+            except (KeyError, ValueError) as exc:
+                raise PackError("unreadable pack manifest in %s: %s"
+                                % (path, exc))
+            if manifest.get("pack_version") != PACK_VERSION:
+                raise PackError(
+                    "pack %s has pack_version %r (expected %d)"
+                    % (path, manifest.get("pack_version"),
+                       PACK_VERSION))
+            entries = []
+            for listed in manifest.get("entries", []):
+                digest = listed["digest"]
+                try:
+                    payload = json.loads(
+                        archive.read("specs/%s.json" % digest))
+                except (KeyError, ValueError) as exc:
+                    raise PackError(
+                        "pack %s entry %s unreadable: %s"
+                        % (path, digest, exc))
+                if entry_digest(payload["key"]) != digest:
+                    raise PackError(
+                        "pack %s entry %s fails its digest check"
+                        % (path, digest))
+                payload["digest"] = digest
+                entries.append(payload)
+    except zipfile.BadZipFile as exc:
+        raise PackError("%s is not a pack: %s" % (path, exc))
+    return manifest, entries
+
+
+def verify_pack(path):
+    """Deep-verify one pack; returns a report dict.
+
+    Beyond :func:`read_pack`'s digest checks, every spec is actually
+    rebuilt (``from_spec`` re-``exec``\\ s the carried source), and
+    entries built under different version axes than the running code
+    are listed as ``stale``.
+    """
+    from repro.compiler.kernel import CompiledKernel
+
+    manifest, entries = read_pack(path)
+    axes = _current_axes()
+    stale = []
+    errors = []
+    for entry in entries:
+        if _meta_axes(entry["key"]) != axes:
+            stale.append(entry["digest"])
+            continue
+        try:
+            CompiledKernel.from_spec(entry["spec"])
+        except Exception as exc:
+            errors.append("%s: %s: %s" % (entry["digest"],
+                                          type(exc).__name__, exc))
+    return {
+        "path": path,
+        "count": len(entries),
+        "rebuilt": len(entries) - len(stale) - len(errors),
+        "stale": stale,
+        "errors": errors,
+        "ok": not errors,
+    }
+
+
+def load_pack(path, store=None, memory=True):
+    """Import a pack's kernels into the process's cache tiers.
+
+    ``store`` is a :class:`~repro.store.disk.KernelStore` (default:
+    the active store, when one is configured) — every current-version
+    entry is written into it.  With ``memory=True`` (the default) each
+    entry is also rebuilt and promoted straight into the in-memory
+    :class:`~repro.compiler.kernel.KernelCache`, so even the first
+    compile of this very process is a hit; bulk importers (the CLI's
+    ``warm``) pass ``memory=False`` to avoid churning the LRU.  Entries whose version axes
+    (spec layout, op registry, optimizer/codegen fingerprints) differ
+    from the running code are skipped as stale, never served.
+
+    Returns a summary dict: ``loaded`` / ``stale`` / ``errors``.
+    """
+    from repro.compiler.kernel import (
+        KERNEL_CACHE,
+        CompiledKernel,
+        artifact_cache_key,
+    )
+    from repro.store import active_store
+
+    if store is None:
+        store = active_store()
+    _, entries = read_pack(path)
+    axes = _current_axes()
+    loaded = stale = errors = 0
+    for entry in entries:
+        if _meta_axes(entry["key"]) != axes:
+            stale += 1
+            continue
+        if memory:
+            try:
+                artifact = CompiledKernel.from_spec(entry["spec"])
+            except Exception:
+                errors += 1
+                continue
+            KERNEL_CACHE.store(artifact_cache_key(artifact), artifact)
+        if store is not None:
+            store.save_spec(entry["key"], entry["spec"])
+        loaded += 1
+    return {"path": path, "loaded": loaded, "stale": stale,
+            "errors": errors, "store": getattr(store, "root", None),
+            "memory": bool(memory)}
+
+
+# -------------------------------------------------------------------------
+# Pack building: the kernel populations CI warms ahead of time.
+# -------------------------------------------------------------------------
+def _entry_for_kernel(kernel, figure, label):
+    """One pack entry for a freshly compiled kernel, or None when the
+    kernel cannot be serialized (identity-pinned data)."""
+    from repro.util.errors import SpecError
+
+    try:
+        spec = kernel.artifact.to_spec()
+    except SpecError:
+        return None
+    return {"key": meta_for_artifact(kernel.artifact), "spec": spec,
+            "figure": figure, "label": label}
+
+
+def figure_entries(log=None):
+    """Compile every benchmark-figure kernel; returns pack entries.
+
+    The programs come from :func:`repro.bench.figures.pack_programs`,
+    the same canonical registry the benchmark scripts build their
+    inputs from — which is what guarantees a warmed store actually
+    hits when the figures run.
+    """
+    from repro.bench.figures import pack_programs
+    from repro.compiler.kernel import compile_kernel
+
+    entries = []
+    for figure, label, make_program, opts in pack_programs():
+        kernel = compile_kernel(make_program(), cache="memory", **opts)
+        entry = _entry_for_kernel(kernel, figure, label)
+        if entry is not None:
+            entries.append(entry)
+        if log is not None:
+            log("  packed %s / %s" % (figure, label))
+    return entries
+
+
+def corpus_entries(corpus_dir=None, opt_levels=(0, 1, 2), log=None):
+    """Compile every fuzz-corpus case at each opt level (the exact
+    kernels the corpus replay recompiles on every CI run)."""
+    from repro.compiler.kernel import compile_kernel
+    from repro.fuzz import corpus as corpus_mod
+    from repro.fuzz.gen import build_case
+
+    entries = []
+    paths = corpus_mod.corpus_entries(
+        corpus_mod.DEFAULT_CORPUS_DIR if corpus_dir is None
+        else corpus_dir)
+    for path in paths:
+        spec = corpus_mod.load_entry(path)["spec"]
+        for level in opt_levels:
+            case = build_case(spec)
+            kernel = compile_kernel(case.program, instrument=True,
+                                    opt_level=level, cache="memory")
+            entry = _entry_for_kernel(kernel, "fuzz_corpus", path)
+            if entry is not None:
+                entries.append(entry)
+        if log is not None:
+            log("  packed corpus %s" % path)
+    return entries
+
+
+def campaign_entries(seed, budget, profile="quick",
+                     opt_levels=(0, 1, 2), log=None):
+    """Compile the kernels of one deterministic fuzz campaign.
+
+    The conformance engine derives its case seeds from ``(seed,
+    budget, profile)`` alone, so packing the same triple CI's
+    ``fuzz-smoke`` job runs means that job's compiles all come off the
+    warmed store.
+    """
+    from repro.compiler.kernel import compile_kernel
+    from repro.fuzz.engine import case_seed
+    from repro.fuzz.gen import build_case, generate_spec
+
+    entries = []
+    for step in range(budget):
+        spec = generate_spec(case_seed(seed, step), profile)
+        for level in opt_levels:
+            case = build_case(spec)
+            kernel = compile_kernel(case.program, instrument=True,
+                                    opt_level=level, cache="memory")
+            entry = _entry_for_kernel(
+                kernel, "fuzz_campaign",
+                "seed %d step %d" % (seed, step))
+            if entry is not None:
+                entries.append(entry)
+        if log is not None and (step + 1) % 50 == 0:
+            log("  packed campaign %d/%d" % (step + 1, budget))
+    return entries

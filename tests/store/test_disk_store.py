@@ -1,0 +1,339 @@
+"""The persistent on-disk kernel store: tiers, eviction, corruption.
+
+Covers the disk tier's contract one property at a time: read-through /
+write-behind layering under the memory LRU, the ``cache=`` escape
+hatches, version-mismatch invalidation (op registry bumps), quarantine
+on corruption, LRU eviction by size budget, and the persisted
+cross-process statistics counters.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.compiler.kernel import kernel_cache
+from repro.ir import ops as ops_mod
+from repro.store import (
+    KernelStore,
+    active_store,
+    configure_store,
+    entry_digest,
+    meta_for_artifact,
+    meta_for_spec,
+    reset_store_config,
+    using_store,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    kernel_cache().clear()
+    reset_store_config()
+    yield
+    kernel_cache().clear()
+    reset_store_config()
+
+
+def dot_program(n=60, seed=0, fmt="sparse"):
+    rng = np.random.default_rng(seed)
+    a = np.zeros(n)
+    a[rng.choice(n, max(3, n // 8), replace=False)] = 1.0
+    A = fl.from_numpy(a, (fmt,), name="A")
+    B = fl.from_numpy(rng.random(n), ("dense",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i])), C, a
+
+
+def test_write_behind_then_read_through(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        program, C, a = dot_program()
+        kernel = fl.compile_kernel(program)
+        kernel.run()
+        expected = C.value
+    stats = store.stats()
+    assert stats == {**stats, "writes": 1, "misses": 1, "hits": 0}
+    assert stats["entries"] == 1
+
+    # A fresh "process": memory cache cleared, same store.
+    kernel_cache().clear()
+    with using_store(store):
+        program2, C2, _ = dot_program(seed=1)
+        kernel2 = fl.compile_kernel(program2)
+        assert kernel2.from_cache  # disk hit, zero compiles
+        kernel2.run()
+    assert store.stats()["hits"] == 1
+    # The rebuilt kernel computes the same function.
+    program3, C3, _ = dot_program()
+    fl.execute(program3, cache=False)
+    assert C3.value == pytest.approx(expected)
+
+
+def test_disk_hit_promotes_into_memory(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        fl.compile_kernel(dot_program()[0])
+        kernel_cache().clear()
+        fl.compile_kernel(dot_program(seed=1)[0])   # disk hit
+        before = store.stats()["hits"]
+        fl.compile_kernel(dot_program(seed=2)[0])   # memory hit now
+        assert store.stats()["hits"] == before
+    assert kernel_cache().stats()["hits"] == 1
+
+
+def test_cache_memory_mode_skips_disk(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        fl.compile_kernel(dot_program()[0], cache="memory")
+    stats = store.stats()
+    assert stats["writes"] == 0
+    assert stats["hits"] + stats["misses"] == 0
+
+
+def test_cache_disk_mode_skips_memory(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        fl.compile_kernel(dot_program()[0], cache="disk")
+        assert len(kernel_cache()) == 0
+        kernel = fl.compile_kernel(dot_program()[0], cache="disk")
+        assert kernel.from_cache
+    assert store.stats()["hits"] == 1
+
+
+def test_cache_false_touches_nothing(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        fl.compile_kernel(dot_program()[0], cache=False)
+    assert store.stats()["writes"] == 0
+    assert len(kernel_cache()) == 0
+
+
+def test_cache_mode_validated():
+    with pytest.raises(ValueError, match="cache must be"):
+        fl.compile_kernel(dot_program()[0], cache="both")
+
+
+def test_registry_version_bump_invalidates(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        kernel = fl.compile_kernel(dot_program()[0])
+        meta = meta_for_artifact(kernel.artifact)
+        assert store.load_spec(meta) is not None
+        # A late op registration changes the runtime namespace kernels
+        # exec against: every stored entry must read as a miss.
+        ops_mod.register_op(ops_mod.Op("store_test_noop",
+                                       lambda x: x))
+        stale_meta = meta_for_artifact(kernel.artifact)
+        assert stale_meta != meta
+        assert store.load_spec(stale_meta) is None
+        kernel_cache().clear()
+        recompiled = fl.compile_kernel(dot_program()[0])
+        assert not recompiled.from_cache  # disk could not serve it
+    assert store.stats()["entries"] == 2  # old + recompiled
+
+
+def test_corrupt_entry_quarantined_and_recompiled(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        kernel = fl.compile_kernel(dot_program()[0])
+        meta = meta_for_artifact(kernel.artifact)
+        path = store._entry_path(meta)
+        with open(path, "w") as handle:
+            handle.write('{"truncated')
+        kernel_cache().clear()
+        recompiled = fl.compile_kernel(dot_program()[0])
+        assert not recompiled.from_cache
+    stats = store.stats()
+    assert stats["quarantined"] == 1
+    assert stats["quarantine_files"] == 1
+    assert os.listdir(store.quarantine_dir)
+    # The recompile healed the store: the entry is back and loadable.
+    assert store.load_spec(meta) is not None
+
+
+def test_key_mismatch_is_corruption(tmp_path):
+    """An entry whose recorded key does not hash to its filename is
+    quarantined, not served (digest-collision and tamper defense)."""
+    store = KernelStore(tmp_path)
+    kernel = fl.compile_kernel(dot_program()[0], cache=False)
+    store.save_artifact(kernel.artifact)
+    meta = meta_for_artifact(kernel.artifact)
+    path = store._entry_path(meta)
+    with open(path) as handle:
+        entry = json.load(handle)
+    entry["key"]["opt_level"] = 0  # no longer matches the digest
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+    assert store.load_spec(meta) is None
+    assert store.stats()["quarantined"] == 1
+
+
+def test_unrebuildable_spec_quarantined(tmp_path):
+    """A stored spec whose source no longer execs is quarantined by
+    load_artifact and the already-counted hit is taken back."""
+    store = KernelStore(tmp_path)
+    kernel = fl.compile_kernel(dot_program()[0], cache=False)
+    store.save_artifact(kernel.artifact)
+    meta = meta_for_artifact(kernel.artifact)
+    path = store._entry_path(meta)
+    with open(path) as handle:
+        entry = json.load(handle)
+    entry["spec"]["source"] = "def kernel(:\n"  # SyntaxError on exec
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+    assert store.load_artifact(meta) is None
+    stats = store.stats()
+    assert stats["quarantined"] == 1
+    assert stats["hits"] == 0
+
+
+def test_lru_eviction_by_size_budget(tmp_path):
+    kernel = fl.compile_kernel(dot_program()[0], cache=False)
+    spec = kernel.artifact.to_spec()
+    entry_bytes = len(json.dumps(spec))
+    store = KernelStore(tmp_path, max_bytes=3 * entry_bytes)
+    metas = []
+    for position in range(5):
+        meta = dict(meta_for_artifact(kernel.artifact))
+        meta["structural_digest"] = "%040d" % position
+        store.save_spec(meta, spec)
+        os.utime(store._entry_path(meta),
+                 (1_000_000 + position, 1_000_000 + position))
+        metas.append(meta)
+    # Budget holds ~2 full entries after the wrapper overhead; the
+    # oldest-mtime entries are gone, the newest survive.
+    stats = store.stats()
+    assert stats["evictions"] >= 2
+    assert stats["bytes"] <= 3 * entry_bytes
+    assert store.load_spec(metas[-1]) is not None
+    assert store.load_spec(metas[0]) is None
+
+
+def test_hits_touch_mtime_for_lru(tmp_path):
+    kernel = fl.compile_kernel(dot_program()[0], cache=False)
+    spec = kernel.artifact.to_spec()
+    meta_a = dict(meta_for_artifact(kernel.artifact))
+    meta_a["structural_digest"] = "a" * 40
+    meta_b = dict(meta_a, structural_digest="b" * 40)
+    store = KernelStore(tmp_path)
+    store.save_spec(meta_a, spec)
+    store.save_spec(meta_b, spec)
+    os.utime(store._entry_path(meta_a), (1_000_000, 1_000_000))
+    os.utime(store._entry_path(meta_b), (2_000_000, 2_000_000))
+    assert store.load_spec(meta_a) is not None  # touches a's mtime
+    entries = store._entry_files()
+    assert entries[0][0] == store._entry_path(meta_b)  # b now oldest
+
+
+def test_meta_for_spec_matches_meta_for_artifact():
+    kernel = fl.compile_kernel(dot_program()[0], cache=False,
+                               instrument=True, opt_level=1)
+    artifact = kernel.artifact
+    spec = json.loads(json.dumps(artifact.to_spec()))
+    assert meta_for_spec(spec) == meta_for_artifact(artifact)
+    assert entry_digest(meta_for_spec(spec)) == \
+        entry_digest(meta_for_artifact(artifact))
+
+
+def test_distinct_compile_flags_distinct_entries(tmp_path):
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        fl.compile_kernel(dot_program()[0])
+        fl.compile_kernel(dot_program()[0], instrument=True)
+        fl.compile_kernel(dot_program()[0], opt_level=0)
+        fl.compile_kernel(dot_program()[0], constant_loop_rewrite=False)
+    assert store.stats()["entries"] == 4
+
+
+def test_env_var_configures_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("FL_KERNEL_STORE", str(tmp_path))
+    monkeypatch.setenv("FL_KERNEL_STORE_MAX_BYTES", "123456")
+    store = active_store()
+    assert store is not None
+    assert store.root == str(tmp_path)
+    assert store.max_bytes == 123456
+    # configure_store(None) beats the environment ...
+    configure_store(None)
+    assert active_store() is None
+    # ... until the config is reset.
+    reset_store_config()
+    assert active_store() is not None
+
+
+def test_stats_shape(tmp_path):
+    stats = KernelStore(tmp_path).stats()
+    for key in ("hits", "misses", "writes", "evictions", "quarantined",
+                "entries", "bytes", "max_bytes", "hit_rate", "root"):
+        assert key in stats
+    assert stats["hit_rate"] == 0.0
+
+
+def test_clear_resets_everything(tmp_path):
+    store = KernelStore(tmp_path)
+    kernel = fl.compile_kernel(dot_program()[0], cache=False)
+    store.save_artifact(kernel.artifact)
+    store.load_spec(meta_for_artifact(kernel.artifact))
+    store.clear()
+    stats = store.stats()
+    assert stats["entries"] == 0
+    assert stats["hits"] == 0 and stats["writes"] == 0
+
+
+def test_readonly_store_serves_hits_and_drops_writes(tmp_path):
+    """A prewarmed store on an unwritable mount must keep serving hits
+    and silently drop writes/counters — never crash a compile.
+
+    Simulated by replacing the lock file and stats file with
+    directories (open() fails with IsADirectoryError even for root,
+    which chmod-based read-only checks would not)."""
+    store = KernelStore(tmp_path)
+    with using_store(store):
+        fl.compile_kernel(dot_program()[0])  # warm one entry
+    os.remove(store._lock_path)
+    os.remove(store._stats_path)
+    os.mkdir(store._lock_path)      # open(.lock, "a+") now raises
+    os.mkdir(store._stats_path + ".tmp.%d" % os.getpid())
+    kernel_cache().clear()
+    with using_store(store):
+        hit = fl.compile_kernel(dot_program(seed=1)[0])
+        assert hit.from_cache  # the hit still lands, unlocked
+        # A structurally new kernel compiles fine; the counter
+        # updates are dropped, not raised.
+        fresh = fl.compile_kernel(dot_program(n=90, seed=2)[0])
+        assert not fresh.from_cache
+    assert store.stats()["hits"] == 0  # counters were unwritable
+
+
+def test_unwritable_entries_degrade_to_read_only_tier(tmp_path,
+                                                      monkeypatch):
+    """When the entry rename itself fails (truly read-only mount,
+    disk full), save_spec returns None and the compile succeeds."""
+    import repro.store.disk as disk_mod
+
+    store = KernelStore(tmp_path)
+    kernel = fl.compile_kernel(dot_program()[0], cache=False)
+
+    def refuse(src, dst):
+        raise PermissionError("read-only file system")
+
+    monkeypatch.setattr(disk_mod.os, "replace", refuse)
+    assert store.save_artifact(kernel.artifact) is None
+    with using_store(store):
+        compiled = fl.compile_kernel(dot_program(seed=3)[0])
+        assert not compiled.from_cache
+    monkeypatch.undo()
+    assert store.stats()["entries"] == 0
+
+
+def test_uncreatable_store_root_degrades_to_no_tier(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file, not dir")
+    store = KernelStore(blocker / "store")
+    with using_store(store):
+        kernel = fl.compile_kernel(dot_program()[0])
+        assert not kernel.from_cache
+    assert store.stats()["entries"] == 0

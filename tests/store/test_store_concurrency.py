@@ -1,0 +1,126 @@
+"""Multiprocess stress: N processes race one store directory.
+
+Each worker process repeatedly compiles the same small program family
+with the disk tier as its only cache (the memory LRU is cleared
+between compiles), against one shared store.  The store's contract
+under that race:
+
+* no worker ever crashes or reads a corrupt entry (atomic writes mean
+  a reader sees an old entry or a new one, never a torn one),
+* results are bit-identical across every worker and every iteration,
+* each distinct kernel is compiled at most once per worker (the race
+  window: workers that miss before the first write lands), never more,
+* with a tight size budget, eviction under the race still never
+  corrupts — it only converts hits back into recompiles.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+
+#: Worker body: compiles PROGRAMS x ROUNDS with a cleared memory cache
+#: (every compile goes to disk), prints result digests + stats.
+_WORKER = r"""
+import json, sys
+import numpy as np
+import repro.lang as fl
+from repro.compiler.kernel import kernel_cache
+from repro.store import KernelStore, using_store
+
+root, max_bytes, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = KernelStore(root, max_bytes=None if max_bytes == "none"
+                    else int(max_bytes))
+sizes = (41, 53, 67, 79)
+results = {}
+with using_store(store):
+    for _ in range(rounds):
+        for n in sizes:
+            kernel_cache().clear()
+            rng = np.random.default_rng(n)
+            a = np.zeros(n)
+            a[rng.choice(n, n // 5, replace=False)] = \
+                rng.integers(1, 5, n // 5).astype(float)
+            b = rng.integers(0, 5, n).astype(float)
+            A = fl.from_numpy(a, ("sparse",), name="A")
+            B = fl.from_numpy(b, ("dense",), name="B")
+            C = fl.Scalar(name="C")
+            i = fl.indices("i")
+            fl.execute(fl.forall(i, fl.increment(C[()], A[i] * B[i])))
+            value = float(C.value)
+            previous = results.setdefault(str(n), value)
+            assert previous == value, (n, previous, value)
+print(json.dumps({"results": results, "pid": __import__("os").getpid()}))
+"""
+
+SIZES = (41, 53, 67, 79)
+
+
+def _spawn_workers(store_dir, count, max_bytes="none", rounds=3):
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("FL_KERNEL_STORE", None)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WORKER, str(store_dir),
+             str(max_bytes), str(rounds)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)
+        for _ in range(count)
+    ]
+    outputs = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode()
+        outputs.append(json.loads(out.decode().strip().splitlines()[-1]))
+    return outputs
+
+
+def test_racing_processes_agree_and_share_compiles(tmp_path):
+    workers = 4
+    outputs = _spawn_workers(tmp_path, workers)
+    # Bit-identical results across every worker.
+    baseline = outputs[0]["results"]
+    for output in outputs[1:]:
+        assert output["results"] == baseline
+
+    from repro.store import KernelStore
+
+    store = KernelStore(tmp_path)
+    stats = store.stats()
+    # Every kernel present, nothing quarantined, no torn tmp files.
+    assert stats["entries"] == len(SIZES)
+    assert stats["quarantined"] == 0
+    leftovers = [name for name in os.listdir(tmp_path)
+                 if ".tmp." in name]
+    assert leftovers == []
+    # Compiles happen only in the race window: at most one write per
+    # kernel per worker, and at least one per kernel overall.  Every
+    # later lookup is a hit (3 rounds x 4 sizes x 4 workers lookups).
+    assert len(SIZES) <= stats["writes"] <= len(SIZES) * workers
+    lookups = stats["hits"] + stats["misses"]
+    assert lookups == 3 * len(SIZES) * workers
+    assert stats["misses"] == stats["writes"]
+    # A fresh process now warm-starts with zero compiles.
+    for _, meta in store.entries():
+        assert meta["name"] == "kernel"
+
+
+def test_racing_processes_with_eviction_stay_correct(tmp_path):
+    """A budget that only fits ~2 entries forces constant eviction
+    under the race; correctness must survive (only hit rates may
+    suffer)."""
+    outputs = _spawn_workers(tmp_path, 3, max_bytes=4000, rounds=2)
+    baseline = outputs[0]["results"]
+    for output in outputs[1:]:
+        assert output["results"] == baseline
+
+    from repro.store import KernelStore
+
+    stats = KernelStore(tmp_path).stats()
+    assert stats["quarantined"] == 0
+    assert stats["evictions"] > 0
+    assert stats["bytes"] <= 4000

@@ -1,0 +1,99 @@
+"""The warm-start proof, as a tier-1 test: a *fresh process* with a
+warmed store compiles zero kernels for all six bench figures, and its
+outputs are bit-identical to cold compiles.
+
+Two subprocesses run the same six canonical figure kernels
+(:func:`repro.bench.figures.warm_start_programs`) against one store
+directory named by ``FL_KERNEL_STORE``:
+
+* the **cold** child starts on an empty store — six misses, six
+  compiles, six write-behinds;
+* the **warm** child starts next — six hits, *zero* compiles, and
+  output hashes bit-identical to the cold child's.
+
+Both runs happen in pristine subprocesses (not the pytest process):
+the store key includes the op-registry version, and other tests
+legitimately register ops, so only a fresh interpreter state matches
+what a real fleet process would compute.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+_CHILD = r"""
+import hashlib, json, os, sys
+from repro.bench.figures import warm_start_programs
+from repro.bench.harness import _snapshot_outputs
+from repro.compiler.kernel import compile_kernel
+from repro.store import KernelStore
+
+report = {"figures": {}}
+for figure, label, make_program, opts in warm_start_programs():
+    program = make_program()
+    kernel = compile_kernel(program, **opts)
+    kernel.run()
+    digest = hashlib.sha256()
+    for snap in _snapshot_outputs(program):
+        digest.update(snap.tobytes())
+    report["figures"][figure] = {
+        "from_cache": kernel.from_cache,
+        "hash": digest.hexdigest(),
+    }
+report["stats"] = KernelStore(os.environ["FL_KERNEL_STORE"]).stats()
+print(json.dumps(report))
+"""
+
+
+def _run_child(store_dir):
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["FL_KERNEL_STORE"] = str(store_dir)
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD], env=env, timeout=300,
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("fl_store")
+    return _run_child(store_dir), _run_child(store_dir)
+
+
+def test_cold_process_compiles_and_warms_the_store(cold_and_warm):
+    cold, _ = cold_and_warm
+    figures = cold["figures"]
+    assert len(figures) == 6
+    assert not any(entry["from_cache"] for entry in figures.values())
+    stats = cold["stats"]
+    assert stats["hits"] == 0
+    assert stats["misses"] == len(figures)
+    # Write-behind: the cold run left every kernel persisted.
+    assert stats["entries"] == len(figures)
+    assert stats["writes"] == len(figures)
+
+
+def test_fresh_process_compiles_zero_kernels(cold_and_warm):
+    cold, warm = cold_and_warm
+    figures = warm["figures"]
+    assert set(figures) == set(cold["figures"])
+    # Every figure compile came off the store ...
+    assert all(entry["from_cache"] for entry in figures.values()), \
+        figures
+    # ... the warm process saw six hits and ZERO new misses/writes ...
+    stats = warm["stats"]
+    assert stats["hits"] == len(figures)
+    assert stats["misses"] == cold["stats"]["misses"]
+    assert stats["writes"] == cold["stats"]["writes"]
+    # ... and its outputs are bit-identical to the cold compiles.
+    for figure, entry in figures.items():
+        assert entry["hash"] == cold["figures"][figure]["hash"], figure

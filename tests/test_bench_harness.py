@@ -58,3 +58,52 @@ class TestHelpers:
         elapsed = time_kernel(kernel, repeats=3)
         assert kernel.calls == 3
         assert elapsed >= 0.0
+
+
+class TestWarmStartTable:
+    def _programs(self):
+        import numpy as np
+
+        import repro.lang as fl
+
+        def make_program():
+            a = np.arange(48, dtype=float)
+            A = fl.from_numpy(a, ("dense",), name="A")
+            C = fl.Scalar(name="C")
+            i = fl.indices("i")
+            return fl.forall(i, fl.increment(C[()], A[i] * A[i]))
+
+        return [("fig_test", "square sum", make_program, {})]
+
+    def test_warm_store_hits_and_matches(self, tmp_path):
+        from repro.bench.harness import warm_start_table
+        from repro.compiler.kernel import compile_kernel, kernel_cache
+        from repro.store import KernelStore
+
+        store = KernelStore(tmp_path)
+        programs = self._programs()
+        for _, _, make_program, opts in programs:
+            kernel_cache().clear()
+            kernel = compile_kernel(make_program(), cache=False, **opts)
+            store.save_artifact(kernel.artifact)
+        table, payload = warm_start_table("warm start", programs, store)
+        assert payload["hit_rate"] == 1.0
+        assert payload["cold_compiles"] == 0
+        assert payload["identical"] is True
+        assert [row[5] for row in table.rows] == ["hit"]
+        entry = payload["figures"]["fig_test/square sum"]
+        assert entry["disk_hit"] and entry["bit_identical"]
+
+    def test_cold_store_reports_misses(self, tmp_path):
+        from repro.bench.harness import warm_start_table
+        from repro.store import KernelStore
+
+        store = KernelStore(tmp_path)
+        table, payload = warm_start_table("cold start",
+                                          self._programs(), store)
+        # An unwarmed store misses (and is warmed behind); outputs
+        # still match because the fallback is a real compile.
+        assert payload["hit_rate"] == 0.0
+        assert payload["cold_compiles"] == 1
+        assert payload["identical"] is True
+        assert store.stats()["entries"] == 1

@@ -58,11 +58,14 @@ def test_subpackage_imports():
     import repro.bench
     import repro.cin
     import repro.compiler
+    import repro.exec
     import repro.formats
+    import repro.fuzz
     import repro.ir
     import repro.looplets
     import repro.modifiers
     import repro.rewrite
+    import repro.store
     import repro.tensors
     import repro.util
     import repro.workloads
