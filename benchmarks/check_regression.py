@@ -7,10 +7,14 @@ This script compares every committed baseline under
 ``benchmarks/baselines/`` against its freshly generated counterpart and
 fails (exit code 1) when the perf trajectory regresses:
 
-* a run-time metric (``run_s``, ``wall_seconds``) got more than
-  ``--max-regression`` slower (default 0.30, i.e. 30%),
+* a run-time metric (``run_s``, ``wall_seconds``, or a per-stage
+  batch overhead: ``serialize_s``, ``transport_s``, ``execute_s``,
+  ``collect_s``) got more than ``--max-regression`` slower (default
+  0.30, i.e. 30%),
 * a speedup metric (``speedup``, ``speedup_vs_serial``) dropped by more
-  than the same fraction,
+  than the same fraction, or a scaling ``efficiency`` dropped while
+  the worker count stayed the same (efficiency is only comparable
+  between runs with equal ``max_workers``),
 * a deterministic op count (``total_ops``) *increased* — op counts do
   not depend on machine speed, so any growth is a real work regression,
 * a determinism flag (``identical``, ``bit_identical``) flipped from
@@ -61,19 +65,51 @@ DIFF_TOLERANCE = 1e-9
 MIN_SECONDS = 0.005
 
 #: Absolute floors applied to fresh payloads, independent of the
-#: baseline: (report name, dotted metric path, floor, gating path).
-#: When the gating path is given, the gate only applies if its value
-#: is >= MIN_GATE_WORKERS (parallel-scaling floors are unreachable on
-#: 1-2 core boxes, where the pool's own overhead eats the headroom).
+#: baseline: (report name, dotted metric path, floor, gating path,
+#: minimum workers).  When the gating path is given, the gate only
+#: applies if its value is >= the gate's worker minimum — parallel
+#: floors are unreachable on small boxes, where pool overhead eats
+#: the headroom, so the gates are nproc-aware and self-skip there.
 MIN_GATE_WORKERS = 3
 
+#: Scaling-efficiency floors only mean something on a genuinely
+#: multi-core runner: below four workers the "ideal" is too close to
+#: the overhead noise to gate on.
+EFFICIENCY_GATE_WORKERS = 4
+
 SPEEDUP_GATES = [
-    ("BENCH_fig1_dot", "dense_dot.speedup", 5.0, None),
+    ("BENCH_fig1_dot", "dense_dot.speedup", 5.0, None, 0),
     (
         "BENCH_fig1_dot_throughput",
         "executors.threads.speedup_vs_serial",
         2.0,
         "executors.threads.max_workers",
+        MIN_GATE_WORKERS,
+    ),
+    # The warm-pool + shared-memory data plane: process workers must
+    # deliver real multi-core scaling, not merely beat serial.  The
+    # dense-dot batch is the hardest case (cheapest kernel, transport
+    # dominated), hence the highest floor.
+    (
+        "BENCH_fig1_dot_throughput",
+        "executors.processes.efficiency",
+        0.7,
+        "executors.processes.max_workers",
+        EFFICIENCY_GATE_WORKERS,
+    ),
+    (
+        "BENCH_fig7_spmspv_throughput",
+        "executors.processes.efficiency",
+        0.6,
+        "executors.processes.max_workers",
+        EFFICIENCY_GATE_WORKERS,
+    ),
+    (
+        "BENCH_fig11_allpairs_throughput",
+        "executors.processes.efficiency",
+        0.6,
+        "executors.processes.max_workers",
+        EFFICIENCY_GATE_WORKERS,
     ),
 ]
 
@@ -111,7 +147,7 @@ def _supporting_times(flat, path):
             for key, value in flat.items()
             if key.startswith(prefix + "variants.") and key.endswith(".run_s")
         ]
-    elif leaf == "speedup_vs_serial":
+    elif leaf in ("speedup_vs_serial", "efficiency"):
         # parent is "...executors.<name>"; compare against every
         # executor's wall time under the same "...executors." scope.
         scope = parent.rsplit(".", 1)[0] + "." if "." in parent else ""
@@ -140,7 +176,8 @@ def compare_payloads(name, baseline, fresh, max_regression=0.30,
     fresh_flat = flatten(fresh)
     for path, base_value in sorted(base_flat.items()):
         leaf = path.rsplit(".", 1)[-1]
-        if leaf in ("run_s", "wall_seconds"):
+        if leaf in ("run_s", "wall_seconds", "serialize_s",
+                    "transport_s", "execute_s", "collect_s"):
             if path not in fresh_flat:
                 failures.append("%s: %s missing from fresh report" % (name, path))
                 continue
@@ -153,10 +190,19 @@ def compare_payloads(name, baseline, fresh, max_regression=0.30,
                     "%s: %s regressed %.3gs -> %.3gs (limit %.3gs)"
                     % (name, path, base_value, fresh_flat[path], limit)
                 )
-        elif leaf in ("speedup", "speedup_vs_serial"):
+        elif leaf in ("speedup", "speedup_vs_serial", "efficiency"):
             if path not in fresh_flat:
                 failures.append("%s: %s missing from fresh report" % (name, path))
                 continue
+            if leaf == "efficiency":
+                # Efficiency = speedup / workers: comparing runs with
+                # different fleet sizes (e.g. a 1-core refresh against
+                # a 4-core CI runner) is meaningless, so only gate when
+                # both sides measured the same max_workers.  The
+                # absolute SPEEDUP_GATES floors still apply.
+                workers_path = path.rsplit(".", 1)[0] + ".max_workers"
+                if base_flat.get(workers_path) != fresh_flat.get(workers_path):
+                    continue
             times = _supporting_times(base_flat, path) + _supporting_times(
                 fresh_flat, path
             )
@@ -240,10 +286,10 @@ def check_gates(name, fresh):
     """Absolute speedup-gate failures for one fresh report."""
     failures = []
     flat = flatten(fresh)
-    for gate_name, path, floor, requires in SPEEDUP_GATES:
+    for gate_name, path, floor, requires, min_workers in SPEEDUP_GATES:
         if gate_name != name:
             continue
-        if requires is not None and flat.get(requires, 0) < MIN_GATE_WORKERS:
+        if requires is not None and flat.get(requires, 0) < min_workers:
             continue
         value = flat.get(path)
         if value is None:

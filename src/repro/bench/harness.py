@@ -30,10 +30,14 @@ dict so the perf trajectory is machine-readable across PRs (see the
 Since the batch execution engine landed, :func:`throughput_table`
 maps one compiled kernel over many datasets under each batch executor
 (serial / threads / processes; see :mod:`repro.exec`) and reports
-items/sec, scaling efficiency vs serial, and the cross-executor
-determinism check (bit-identical outputs, identical aggregate op
-counts).  Its payloads feed the same ``BENCH_*.json`` trajectory,
-gated per-PR by ``benchmarks/check_regression.py``.
+items/sec, scaling efficiency vs serial, the per-stage overhead
+breakdown (serialize/transport/execute/collect), and the
+cross-executor determinism check (bit-identical outputs, identical
+aggregate op counts).  The processes run goes through the warm
+worker pool with datasets adopted into a shared-memory arena, so it
+measures the steady state rather than per-batch spawn + pickle cost.
+Its payloads feed the same ``BENCH_*.json`` trajectory, gated per-PR
+by ``benchmarks/check_regression.py``.
 """
 
 import time
@@ -214,29 +218,50 @@ def throughput_table(title, program, datasets, executors=(
     default) the table also shows each executor's aggregate op count,
     which must not depend on how the batch was sharded.
 
+    When ``processes`` is among the executors, the datasets are first
+    adopted into a :class:`repro.exec.ShmArena` (one copy), so the
+    processes run measures the warm-pool steady state: workers rebind
+    shared segments instead of receiving tensor bytes per batch.  The
+    arena is unlinked before returning.
+
     Returns ``(table, payload)``.  The JSON-ready ``payload`` carries
-    per-executor wall seconds, items/sec, speedup, efficiency, and op
-    totals, plus ``identical`` — True when every executor produced
+    per-executor wall seconds, items/sec, speedup, efficiency, op
+    totals, and the per-stage ``overhead`` breakdown
+    (serialize/transport/execute/collect seconds for the best batch),
+    plus ``identical`` — True when every executor produced
     bit-identical output snapshots and the same total op count as the
     baseline (serial when present, else the first executor).
     """
+    from repro.exec import ShmArena
+    from repro.tensors.share import share_dataset
+
     kernel = compile_kernel(program, instrument=instrument,
                             **compile_opts)
     table = Table(title, ["executor", "workers", "seconds", "items/s",
-                          "vs serial", "efficiency", "ops"])
+                          "vs serial", "efficiency", "xport (s)",
+                          "exec (s)", "ops"])
     payload = {"title": title, "items": len(datasets),
                "executors": {}, "identical": True}
     baseline_name = "serial" if "serial" in executors else executors[0]
     measured = {}
-    for executor in executors:
-        with KernelPool(kernel, executor=executor,
-                        max_workers=max_workers) as pool:
-            best = None
-            for _ in range(repeats):
-                result = pool.map(datasets)
-                if best is None or result.wall_seconds < best.wall_seconds:
-                    best = result
-        measured[executor] = best
+    arena = ShmArena() if "processes" in executors else None
+    try:
+        if arena is not None:
+            datasets = [share_dataset(dataset, arena)
+                        for dataset in datasets]
+        for executor in executors:
+            with KernelPool(kernel, executor=executor,
+                            max_workers=max_workers) as pool:
+                best = None
+                for _ in range(repeats):
+                    result = pool.map(datasets)
+                    if (best is None
+                            or result.wall_seconds < best.wall_seconds):
+                        best = result
+            measured[executor] = best
+    finally:
+        if arena is not None:
+            arena.close()
     baseline = measured[baseline_name]
     baseline_rate = baseline.items_per_second
     for executor in executors:
@@ -247,8 +272,13 @@ def throughput_table(title, program, datasets, executors=(
         same = _same_outputs(baseline, result)
         if not same:
             payload["identical"] = False
+        overhead = dict(result.overhead or {})
+        transport = (overhead.get("serialize_s", 0.0)
+                     + overhead.get("transport_s", 0.0)
+                     + overhead.get("collect_s", 0.0))
         table.add(executor, result.max_workers, result.wall_seconds,
-                  rate, boost, efficiency,
+                  rate, boost, efficiency, transport,
+                  overhead.get("execute_s", 0.0),
                   result.total_ops if instrument else "-")
         payload["executors"][executor] = {
             "max_workers": result.max_workers,
@@ -258,6 +288,7 @@ def throughput_table(title, program, datasets, executors=(
             "efficiency": efficiency,
             "total_ops": result.total_ops,
             "bit_identical": same,
+            "overhead": overhead,
         }
     return table, payload
 

@@ -15,11 +15,21 @@ from repro.exec.batch import (
     KernelPool,
     run_batch,
 )
+from repro.exec.pool import (
+    WorkerPool,
+    configure_pool,
+    default_pool,
+)
+from repro.exec.shm import ShmArena
 
 __all__ = [
     "EXECUTORS",
     "BatchItem",
     "BatchResult",
     "KernelPool",
+    "ShmArena",
+    "WorkerPool",
+    "configure_pool",
+    "default_pool",
     "run_batch",
 ]

@@ -14,17 +14,21 @@ Three executors share one semantics::
     threads     a ThreadPoolExecutor; right for ``opt_level=2``
                 kernels whose time is spent in GIL-releasing numpy
                 slice operations
-    processes   a ProcessPoolExecutor; right for scalar coiteration
-                kernels that hold the GIL.  Workers receive the
-                kernel's serialized *spec* (never the function
-                object) and re-``exec`` it once per worker — see
-                :mod:`repro.exec.worker`.
+    processes   the persistent warm :class:`~repro.exec.pool.WorkerPool`;
+                right for scalar coiteration kernels that hold the
+                GIL.  Workers receive the kernel's serialized *spec*
+                once per pool lifetime (never the function object) and
+                dataset payloads cross as shared-memory descriptors,
+                not pickled tensors — see :mod:`repro.exec.pool` and
+                :mod:`repro.exec.shm`.
 
 Every executor returns the same :class:`BatchResult`: per-dataset
 output snapshots in dataset order, per-dataset instrumented op counts,
-and per-worker statistics that aggregate deterministically (the total
-op count of a batch is identical across executors — concurrency moves
-work, it never changes it).
+per-worker statistics that aggregate deterministically (the total op
+count of a batch is identical across executors — concurrency moves
+work, it never changes it), and a per-stage overhead breakdown
+(``serialize`` / ``transport`` / ``execute`` / ``collect``) that says
+where the batch's wall time went.
 
 Datasets are either full slot-ordered tensor sequences or name ->
 tensor mappings applied over the kernel's bound template.  They are
@@ -33,27 +37,39 @@ artifact, and each dataset must carry its own output tensors (shared
 output buffers would race under the parallel executors).  Failures
 inside a worker propagate as
 :class:`~repro.util.errors.BatchExecutionError` with the index of the
-dataset that raised.
+dataset that raised — including workers that die hard mid-chunk, which
+surface as a wrapped :class:`~repro.util.errors.WorkerCrashError` and
+are respawned by the pool.
 
-Only the serial and threads executors mutate the caller's dataset
-tensors in place (they run in-process); the processes executor leaves
-them untouched and returns snapshots only.  Code that needs the
-results should read them off the :class:`BatchResult`, which behaves
-identically everywhere.
+All three executors write outputs into the caller's dataset tensors in
+place: serial and threads run in-process, and the processes executor
+writes through shared memory (arena-resident outputs directly, staged
+outputs copied back when the batch succeeds).  Code that needs the
+results should still read them off the :class:`BatchResult` snapshots,
+which behave identically everywhere.
 """
 
+import hashlib
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
 
 from repro.cin.analyze import tensor_binding_buffers
 from repro.compiler.kernel import compile_kernel, resolve_name_overrides
+from repro.exec import pool as _pool
+from repro.exec import shm as _shm
 from repro.exec import worker as _worker
 from repro.util.errors import BatchExecutionError, BindingError
 
 #: The executor names :func:`run_batch` accepts.
 EXECUTORS = ("serial", "threads", "processes")
+
+#: The per-stage overhead keys every executor reports.
+OVERHEAD_STAGES = ("serialize_s", "transport_s", "execute_s",
+                   "collect_s")
 
 
 class BatchItem:
@@ -80,16 +96,19 @@ class BatchResult:
     ``outputs`` flattens to one snapshot list per dataset;
     ``total_ops`` sums the instrumented op counts (None when the
     kernel was not instrumented); ``stats`` is the pool's cumulative
-    per-worker statistics snapshot taken when the batch finished.
+    per-worker statistics snapshot taken when the batch finished;
+    ``overhead`` is this batch's per-stage time breakdown
+    (serialize / transport / execute / collect seconds).
     """
 
     def __init__(self, items, executor, max_workers, wall_seconds,
-                 stats=None):
+                 stats=None, overhead=None):
         self.items = sorted(items, key=lambda item: item.index)
         self.executor = executor
         self.max_workers = max_workers
         self.wall_seconds = wall_seconds
         self.stats = stats or {}
+        self.overhead = dict(overhead or {})
 
     @property
     def outputs(self):
@@ -127,50 +146,80 @@ class BatchResult:
 class KernelPool:
     """A reusable executor mapping one kernel over dataset batches.
 
-    Wraps a bound :class:`~repro.compiler.kernel.Kernel` plus a worker
-    pool of the chosen kind; :meth:`map` may be called any number of
-    times and the underlying pool (and, for processes, each worker's
-    rebuilt artifact) is reused across calls.  Use as a context
-    manager or call :meth:`close` to release the workers.
+    Wraps a bound :class:`~repro.compiler.kernel.Kernel` plus an
+    executor of the chosen kind; :meth:`map` may be called any number
+    of times.  The ``processes`` executor runs on a persistent
+    :class:`~repro.exec.pool.WorkerPool`: by default the process-wide
+    shared pool (so warm workers and shipped specs survive this
+    ``KernelPool``), a private pool when ``max_workers`` differs from
+    the shared pool's size, or exactly the pool passed as
+    ``worker_pool``.  Use as a context manager or call :meth:`close`
+    to release owned resources — the shared default pool and explicit
+    ``worker_pool`` arguments are never closed here.
 
     Per-worker statistics accumulate over the pool's lifetime:
     ``stats()`` reports runs, instrumented op totals, wall seconds,
-    and spec rebuilds (how many times a process worker had to
-    re-``exec`` the kernel source) per worker and in aggregate.
+    spec rebuilds (how many times a process worker had to re-``exec``
+    the kernel source), the per-stage overhead breakdown, and — for
+    processes — the underlying worker pool's transport counters.
     """
 
-    def __init__(self, kernel, executor="threads", max_workers=None):
+    def __init__(self, kernel, executor="threads", max_workers=None,
+                 worker_pool=None):
         if executor not in EXECUTORS:
             raise ValueError(
                 "unknown executor %r (choose from %s)"
                 % (executor, ", ".join(EXECUTORS)))
+        if worker_pool is not None and executor != "processes":
+            raise ValueError(
+                "worker_pool only applies to the processes executor")
         self._kernel = kernel
         self._artifact = kernel.artifact
         self._output_slots = tuple(kernel.output_slots)
         self.executor = executor
+        self._requested_workers = (int(max_workers)
+                                   if max_workers else None)
         if executor == "serial":
             self.max_workers = 1
+        elif worker_pool is not None:
+            self.max_workers = worker_pool.max_workers
         else:
             self.max_workers = int(max_workers or (os.cpu_count() or 1))
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._pool = None
+        self._worker_pool = worker_pool
+        self._explicit_pool = worker_pool is not None
+        self._owns_worker_pool = False
         self._spec = None
+        self._spec_digest = None
         self._closed = False
         self._lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._worker_stats = {}
+        self._overhead = dict.fromkeys(OVERHEAD_STAGES, 0.0)
         self._thread_ids = threading.local()
         self._thread_counter = 0
 
     # -- lifecycle -----------------------------------------------------
     def close(self):
-        """Shut the worker pool down; the pool cannot map afterwards."""
+        """Release owned executors; the pool cannot map afterwards.
+
+        A private :class:`~repro.exec.pool.WorkerPool` (created when
+        ``max_workers`` differed from the shared default's size) is
+        closed; the shared default pool and explicitly passed pools
+        stay warm for their other users.
+        """
         with self._lock:
             self._closed = True
             pool, self._pool = self._pool, None
+            worker_pool, owns = self._worker_pool, self._owns_worker_pool
+            self._worker_pool = None
+            self._owns_worker_pool = False
         if pool is not None:
             pool.shutdown(wait=True)
+        if worker_pool is not None and owns:
+            worker_pool.close()
 
     def __enter__(self):
         return self
@@ -180,17 +229,38 @@ class KernelPool:
         return False
 
     def _ensure_pool(self):
+        """The thread executor (threads mode only), created lazily."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("KernelPool is closed")
             if self._pool is None:
-                if self.executor == "threads":
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self.max_workers)
-                elif self.executor == "processes":
-                    self._pool = ProcessPoolExecutor(
-                        max_workers=self.max_workers)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers)
             return self._pool
+
+    def _ensure_worker_pool(self):
+        """The process worker pool: shared default when sizes agree,
+        private otherwise, or the explicitly provided one."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("KernelPool is closed")
+            pool = self._worker_pool
+            if pool is not None and not pool.closed:
+                return pool
+            if self._explicit_pool:
+                raise RuntimeError(
+                    "the KernelPool's worker_pool is closed")
+            shared = _pool.default_pool()
+            if (self._requested_workers is None
+                    or shared.max_workers == self._requested_workers):
+                self._worker_pool = shared
+                self._owns_worker_pool = False
+                self.max_workers = shared.max_workers
+            else:
+                self._worker_pool = _pool.WorkerPool(
+                    max_workers=self._requested_workers)
+                self._owns_worker_pool = True
+            return self._worker_pool
 
     def _ensure_spec(self):
         """The serialized artifact for process workers (memoized).
@@ -203,6 +273,15 @@ class KernelPool:
             if self._spec is None:
                 self._spec = self._kernel.to_spec()
             return self._spec
+
+    def _ensure_spec_digest(self):
+        """The ship-once identity of this pool's spec."""
+        spec = self._ensure_spec()
+        with self._lock:
+            if self._spec_digest is None:
+                self._spec_digest = hashlib.sha1(
+                    repr(_worker._spec_key(spec)).encode()).hexdigest()
+            return self._spec_digest
 
     # -- statistics ----------------------------------------------------
     def _record(self, worker, ops, seconds, spec_rebuild,
@@ -217,18 +296,32 @@ class KernelPool:
             entry["spec_rebuilds"] += 1 if spec_rebuild else 0
             entry["store_hits"] += 1 if store_hit else 0
 
+    def _add_overhead(self, **stages):
+        with self._stats_lock:
+            for key, value in stages.items():
+                self._overhead[key] += value
+
+    def _overhead_snapshot(self):
+        with self._stats_lock:
+            return dict(self._overhead)
+
     def stats(self):
         """Cumulative per-worker and aggregate execution statistics.
 
         The aggregate ``ops`` total is deterministic: for an
         instrumented kernel it equals the sum of every dataset's op
         count, identical no matter which executor ran the batch or how
-        the datasets were sharded over workers.
+        the datasets were sharded over workers.  ``overhead`` breaks
+        the pool's lifetime wall spend into serialize / transport /
+        execute / collect; for the processes executor ``pool`` carries
+        the worker pool's transport counters (ship-once, chunks,
+        respawns, pickle vs shm bytes).
         """
         with self._stats_lock:
             workers = {name: dict(entry)
                        for name, entry in self._worker_stats.items()}
-        return {
+            overhead = dict(self._overhead)
+        out = {
             "executor": self.executor,
             "max_workers": self.max_workers,
             "runs": sum(e["runs"] for e in workers.values()),
@@ -238,7 +331,11 @@ class KernelPool:
             "store_hits": sum(e.get("store_hits", 0)
                               for e in workers.values()),
             "workers": workers,
+            "overhead": overhead,
         }
+        if self.executor == "processes" and self._worker_pool is not None:
+            out["pool"] = self._worker_pool.stats()
+        return out
 
     def _thread_worker_id(self):
         wid = getattr(self._thread_ids, "worker_id", None)
@@ -330,16 +427,21 @@ class KernelPool:
         start = time.perf_counter()
         try:
             args = self._artifact.bind(tensors)
+            bound = time.perf_counter()
             result = self._artifact.fn(*args)
+            ran = time.perf_counter()
             outputs = [_worker.snapshot_tensor(tensors[slot])
                        for slot in self._output_slots]
         except Exception as exc:
             raise self._wrap_failure(index, exc, tensors) from exc
         # Normalize numpy counter values so op totals stay plain ints.
         ops = int(result) if self._artifact.instrument else None
-        seconds = time.perf_counter() - start
-        self._record(worker_id, ops, seconds, spec_rebuild=False)
-        return BatchItem(index, outputs, ops, worker_id, seconds)
+        done = time.perf_counter()
+        self._record(worker_id, ops, done - start, spec_rebuild=False)
+        self._add_overhead(serialize_s=bound - start,
+                           execute_s=ran - bound,
+                           collect_s=done - ran)
+        return BatchItem(index, outputs, ops, worker_id, done - start)
 
     def _run_threaded(self, index, tensors):
         return self._run_local(index, tensors,
@@ -356,9 +458,12 @@ class KernelPool:
         """
         resolved = self._resolve(list(datasets))
         start = time.perf_counter()
+        before = self._overhead_snapshot()
         if not resolved:
             return BatchResult([], self.executor, self.max_workers,
-                               0.0, stats=self.stats())
+                               0.0, stats=self.stats(),
+                               overhead=dict.fromkeys(OVERHEAD_STAGES,
+                                                      0.0))
         if self.executor == "serial":
             items = [self._run_local(index, tensors, "serial-0")
                      for index, tensors in enumerate(resolved)]
@@ -370,36 +475,104 @@ class KernelPool:
         else:
             items = self._map_processes(resolved)
         wall = time.perf_counter() - start
+        after = self._overhead_snapshot()
+        overhead = {key: after[key] - before[key]
+                    for key in OVERHEAD_STAGES}
         return BatchResult(items, self.executor, self.max_workers,
-                           wall, stats=self.stats())
+                           wall, stats=self.stats(), overhead=overhead)
+
+    def _output_buffer_ids(self, tensors):
+        """Identity set of this dataset's output buffers (arrays and
+        builders) — what the transport must carry back."""
+        output_ids = set()
+        for slot in self._output_slots:
+            buffers = tensor_binding_buffers(tensors[slot])
+            for buf in buffers.values():
+                output_ids.add(id(buf))
+            if not buffers:
+                output_ids.add(id(tensors[slot]))
+        return output_ids
 
     def _map_processes(self, resolved):
+        """Dispatch one batch over the warm worker pool.
+
+        Serialize: bind every dataset parent-side and describe its
+        arguments as shm descriptors (staging anything not
+        arena-resident).  Transport: seal the staging segment (one
+        copy in), and after the run copy staged output regions back.
+        Execute: the pool's chunked dispatch.  Collect: restore
+        builder outputs, snapshot, and assemble items.  The staging
+        segment is unlinked on every path.
+        """
         spec = self._ensure_spec()
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_worker.run_spec_task, spec, tensors, index,
-                        self._output_slots)
-            for index, tensors in enumerate(resolved)
-        ]
-        items = []
-        for index, future in enumerate(futures):
-            try:
-                payload = future.result()
-            except BatchExecutionError:
-                raise
-            except Exception as exc:
-                # The worker's exception (or a pickling failure on the
-                # way in) arrives bare; attach the dataset index plus
-                # the kernel/dataset identification.
+        digest = self._ensure_spec_digest()
+        pool = self._ensure_worker_pool()
+        t0 = time.perf_counter()
+        staging = _shm.ShmStaging()
+        tasks = []
+        resident_seen = set()
+        resident_bytes = 0
+        try:
+            for index, tensors in enumerate(resolved):
+                try:
+                    args = self._artifact.bind(tensors)
+                except Exception as exc:
+                    raise self._wrap_failure(index, exc,
+                                             tensors) from exc
+                payload = _shm.describe_args(
+                    args, staging, index,
+                    self._output_buffer_ids(tensors))
+                payload["index"] = index
+                tasks.append(payload)
+                for arg in args:
+                    if (isinstance(arg, np.ndarray)
+                            and id(arg) not in resident_seen
+                            and _shm.resident_descriptor(arg)
+                            is not None):
+                        resident_seen.add(id(arg))
+                        resident_bytes += arg.nbytes
+            t1 = time.perf_counter()
+            staging_name = staging.seal()
+            t2 = time.perf_counter()
+            pool.add_shm_bytes(staging.nbytes() + resident_bytes)
+            results, failures = pool.run(spec, digest, tasks,
+                                         staging_name)
+            t3 = time.perf_counter()
+            if failures:
+                index, exc = min(failures, key=lambda pair: pair[0])
                 raise self._wrap_failure(index, exc,
                                          resolved[index]) from exc
-            item = BatchItem(payload["index"], payload["outputs"],
-                             payload["ops"], payload["worker"],
-                             payload["seconds"])
-            self._record(item.worker, item.ops, item.seconds,
-                         payload["spec_rebuild"],
-                         payload.get("store_hit", False))
-            items.append(item)
+            staging.writeback({item["index"] for item in results})
+            t4 = time.perf_counter()
+            by_index = {item["index"]: item for item in results}
+            items = []
+            for index, tensors in enumerate(resolved):
+                try:
+                    entry = by_index[index]
+                except KeyError:  # pragma: no cover - pool protocol
+                    raise self._wrap_failure(
+                        index,
+                        RuntimeError("no result for dataset"),
+                        tensors)
+                for position, state in entry["obj_updates"].items():
+                    tasks[index]["objs"][position].__dict__.update(
+                        state)
+                outputs = [_worker.snapshot_tensor(tensors[slot])
+                           for slot in self._output_slots]
+                self._record(entry["worker"], entry["ops"],
+                             entry["seconds"], entry["spec_rebuild"],
+                             entry.get("store_hit", False))
+                items.append(BatchItem(index, outputs, entry["ops"],
+                                       entry["worker"],
+                                       entry["seconds"]))
+            t5 = time.perf_counter()
+        finally:
+            staging.close()
+        self._add_overhead(
+            serialize_s=t1 - t0,
+            transport_s=(t2 - t1) + (t4 - t3),
+            execute_s=sum(item["seconds"] for item in results),
+            collect_s=t5 - t4)
         return items
 
 
@@ -413,7 +586,9 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     slot-ordered tensor sequence.  ``executor`` picks the concurrency
     model (``"serial"``, ``"threads"``, or ``"processes"``; see the
     module docstring for guidance) and ``max_workers`` bounds the pool
-    (default: the machine's CPU count).
+    (default: the machine's CPU count — for processes, the shared warm
+    :func:`~repro.exec.pool.default_pool`, which stays hot between
+    calls).
 
     Returns a :class:`BatchResult` whose per-dataset output snapshots
     and instrumented op counts are identical across executors.  For a

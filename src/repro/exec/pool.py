@@ -1,0 +1,407 @@
+"""The persistent warm worker pool under the ``processes`` executor.
+
+The old engine paid the full process tax on every call: a fresh
+``ProcessPoolExecutor`` per :class:`~repro.exec.batch.KernelPool`, one
+pickled task per dataset, tensors serialized both ways.  For kernels
+whose whole point is being cheap per dataset (the paper's
+compile-once/coiterate-fast model), that overhead *was* the runtime —
+the committed fig1 baseline ran processes at 0.034 scaling efficiency.
+
+:class:`WorkerPool` keeps a fleet of long-lived workers warm across
+batches, kernels, and :class:`~repro.exec.batch.KernelPool`
+lifetimes:
+
+ship-once kernels
+    each worker receives a kernel's spec exactly once per pool
+    lifetime (chunks carry a digest; the spec rides along only on a
+    worker's first chunk of that kernel), and the worker warm-starts
+    from the on-disk :class:`~repro.store.disk.KernelStore` before
+    re-``exec``-ing the shipped source.
+
+shared-memory transport
+    dataset payloads cross as :mod:`repro.exec.shm` descriptors, not
+    pickled tensors; the parent meters both sides (``pickle_bytes``
+    vs ``shm_bytes``) so tests can assert tensor data stays out of
+    the pipe.
+
+chunked scheduling
+    many datasets ride one IPC round-trip.  The chunk size adapts to
+    the measured per-item cost (an EMA of worker-reported kernel
+    seconds) targeting ``chunk_target_s`` of work per message, capped
+    so every worker gets something to do.
+
+self-healing
+    each worker publishes the dataset index it is executing in a
+    shared progress array; when a worker dies hard the pool reads the
+    array to attribute the crash to the right dataset (surfaced as a
+    :class:`~repro.util.errors.WorkerCrashError`, wrapped in
+    ``BatchExecutionError`` by the batch layer) and respawns the
+    worker immediately, so the next ``run_batch`` call sees a full
+    fleet.
+
+A module-level default pool (:func:`default_pool`, tuned via
+:func:`configure_pool`) is shared by every ``KernelPool`` that does
+not bring its own, which is what makes the warm state actually
+accumulate across calls.  The default pool is closed at interpreter
+exit; explicit pools are context managers.
+"""
+
+import atexit
+import multiprocessing as mp
+import os
+import pickle
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+
+import numpy as np
+
+from repro.exec import shm as _shm
+from repro.exec import worker as _worker
+from repro.util.errors import WorkerCrashError
+
+#: Start methods accepted by :class:`WorkerPool` (a subset of the
+#: platform's ``multiprocessing.get_all_start_methods()``).
+START_METHODS = ("fork", "spawn", "forkserver")
+
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+def default_start_method():
+    """``fork`` where available (cheap, inherits the warm interpreter),
+    else the platform default."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("process", "conn", "shipped")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        #: spec digests this worker has already received (ship-once).
+        self.shipped = set()
+
+
+class WorkerPool:
+    """A fleet of persistent worker processes (see module docstring).
+
+    One batch runs at a time per pool (calls serialize); the pool is
+    safe to share between threads and across any number of
+    ``KernelPool``/``run_batch`` calls.  Use as a context manager or
+    call :meth:`close`; closing is idempotent.
+    """
+
+    def __init__(self, max_workers=None, start_method=None,
+                 chunk_target_s=0.01):
+        self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        method = start_method or default_start_method()
+        if method not in mp.get_all_start_methods():
+            raise ValueError(
+                "start method %r not available on this platform "
+                "(choose from %s)"
+                % (method, ", ".join(mp.get_all_start_methods())))
+        self.start_method = method
+        self.chunk_target_s = float(chunk_target_s)
+        self._ctx = mp.get_context(method)
+        self._lock = threading.RLock()
+        self._workers = [None] * self.max_workers
+        self._progress = None
+        self._progress_view = None
+        self._closed = False
+        self._per_item_s = None  # EMA of measured per-item seconds
+        self._last_chunk_size = None
+        self._counters = {
+            "batches": 0, "chunks": 0, "respawns": 0,
+            "specs_shipped": 0, "workers_spawned": 0,
+            "pickle_bytes": 0, "shm_bytes": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self):
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def close(self):
+        """Shut every worker down and unlink the progress segment.
+
+        Idempotent; safe to call while workers are idle.  Workers get
+        a shutdown message and a short grace period before being
+        terminated.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+            progress, self._progress = self._progress, None
+            self._progress_view = None
+        for worker in workers:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send_bytes(
+                    pickle.dumps({"op": "shutdown"}, _PICKLE_PROTO))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            if worker is None:
+                continue
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():  # pragma: no cover - slow exit
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if progress is not None:
+            progress.close()
+
+    def _ensure_progress(self):
+        if self._progress is None:
+            self._progress = _shm.ShmSegment.create(8 * self.max_workers)
+            self._progress_view = self._progress.view(
+                0, np.int64, (self.max_workers,))
+            self._progress_view[:] = -1
+
+    def _spawn(self, slot):
+        self._ensure_progress()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker.worker_main,
+            args=(child_conn, self._progress.name, slot,
+                  self.max_workers),
+            daemon=True, name="fl-exec-%d" % slot)
+        process.start()
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        self._workers[slot] = worker
+        self._counters["workers_spawned"] += 1
+        return worker
+
+    def _respawn(self, slot):
+        """Replace a dead worker so the fleet stays at strength."""
+        worker = self._workers[slot]
+        if worker is not None:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.terminate()
+            worker.process.join(timeout=5)
+        self._workers[slot] = None
+        if self._progress_view is not None:
+            self._progress_view[slot] = -1
+        self._counters["respawns"] += 1
+        return self._spawn(slot)
+
+    # -- scheduling ----------------------------------------------------
+    def _pick_chunk_size(self, n):
+        """Datasets per IPC round-trip: about ``chunk_target_s`` of
+        measured work, clamped so every worker gets a share; before
+        any measurement, four chunks per worker."""
+        per_worker = max(1, -(-n // self.max_workers))
+        if self._per_item_s is None or self._per_item_s <= 0:
+            size = max(1, -(-n // (self.max_workers * 4)))
+        else:
+            size = int(self.chunk_target_s / self._per_item_s) or 1
+        size = max(1, min(per_worker, size))
+        self._last_chunk_size = size
+        return size
+
+    def _send_chunk(self, worker, spec, digest, chunk, staging_name):
+        message = {"digest": digest, "staging": staging_name,
+                   "datasets": chunk}
+        shipped_spec = digest not in worker.shipped
+        if shipped_spec:
+            message["spec"] = spec
+            worker.shipped.add(digest)
+        data = pickle.dumps(message, _PICKLE_PROTO)
+        self._counters["pickle_bytes"] += len(data)
+        self._counters["chunks"] += 1
+        if shipped_spec:
+            self._counters["specs_shipped"] += 1
+        worker.conn.send_bytes(data)
+
+    def run(self, spec, digest, tasks, staging_name=None):
+        """Map ``tasks`` (transport payloads, each carrying its
+        dataset ``index``) over the warm workers under one kernel.
+
+        Returns ``(results, failures)``: worker result dicts in
+        completion order, and ``(index, exception)`` pairs for
+        datasets that failed (in-kernel exceptions and worker
+        crashes).  Dispatch stops after the first failure; staged
+        write-back and error wrapping are the caller's job.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            return self._run_locked(spec, digest, list(tasks),
+                                    staging_name)
+
+    def _run_locked(self, spec, digest, tasks, staging_name):
+        if not tasks:
+            return [], []
+        self._counters["batches"] += 1
+        chunk_size = self._pick_chunk_size(len(tasks))
+        chunks = deque(tasks[i:i + chunk_size]
+                       for i in range(0, len(tasks), chunk_size))
+        busy = {}  # slot -> chunk in flight
+        results = []
+        failures = []
+        stop = False
+        exec_seconds = 0.0
+        executed = 0
+        while chunks or busy:
+            if not stop:
+                for slot in range(self.max_workers):
+                    if not chunks:
+                        break
+                    if slot in busy:
+                        continue
+                    worker = self._workers[slot] or self._spawn(slot)
+                    chunk = chunks.popleft()
+                    try:
+                        self._send_chunk(worker, spec, digest, chunk,
+                                         staging_name)
+                    except (BrokenPipeError, OSError):
+                        # Worker died between batches; put the chunk
+                        # back and retry on the respawned process.
+                        chunks.appendleft(chunk)
+                        self._respawn(slot)
+                        continue
+                    busy[slot] = chunk
+            if not busy:
+                break
+            conn_of = {self._workers[slot].conn: slot for slot in busy}
+            dead_of = {self._workers[slot].process.sentinel: slot
+                       for slot in busy}
+            ready = mp_connection.wait(list(conn_of) + list(dead_of))
+            handled = set()
+            for obj in ready:
+                slot = conn_of.get(obj, dead_of.get(obj))
+                if slot is None or slot in handled:
+                    continue
+                handled.add(slot)
+                worker = self._workers[slot]
+                chunk = busy.pop(slot)
+                reply = None
+                try:
+                    if worker.conn.poll():
+                        reply = pickle.loads(worker.conn.recv_bytes())
+                except (EOFError, OSError):
+                    reply = None
+                if reply is None:
+                    # Hard crash mid-chunk: the progress array says
+                    # which dataset was in flight.
+                    crashed = int(self._progress_view[slot])
+                    if crashed < 0:
+                        crashed = chunk[0]["index"]
+                    worker.process.join(timeout=1)
+                    failures.append((crashed, WorkerCrashError(
+                        "pid-%d" % worker.process.pid,
+                        worker.process.exitcode, crashed)))
+                    self._respawn(slot)
+                    stop = True
+                    continue
+                results.extend(reply["results"])
+                for item in reply["results"]:
+                    exec_seconds += item["seconds"]
+                    executed += 1
+                error = reply.get("error")
+                if error is not None:
+                    try:
+                        exc = pickle.loads(error["exc"])
+                    except Exception:  # pragma: no cover
+                        exc = RuntimeError("worker error")
+                    failures.append((error["index"], exc))
+                    stop = True
+            if stop:
+                chunks.clear()
+        if executed:
+            per_item = exec_seconds / executed
+            self._per_item_s = (per_item if self._per_item_s is None
+                                else 0.5 * self._per_item_s
+                                + 0.5 * per_item)
+        return results, failures
+
+    def add_shm_bytes(self, nbytes):
+        """Credit transported shared-memory payload bytes (metered by
+        the batch layer, which owns staging and residency)."""
+        self._counters["shm_bytes"] += int(nbytes)
+
+    def stats(self):
+        """Lifetime pool statistics: fleet shape, ship-once and
+        chunking counters, transport byte meters, and liveness."""
+        with self._lock:
+            out = dict(self._counters)
+            out["max_workers"] = self.max_workers
+            out["start_method"] = self.start_method
+            out["chunk_size"] = self._last_chunk_size
+            out["per_item_s"] = self._per_item_s
+            out["alive"] = sum(
+                1 for worker in self._workers
+                if worker is not None and worker.process.is_alive())
+        return out
+
+
+# -- the module-level default pool ----------------------------------------
+
+_default_pool = None
+_default_lock = threading.Lock()
+
+
+def default_pool():
+    """The process-wide warm pool, created on first use and shared by
+    every ``KernelPool`` that does not bring its own."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None or _default_pool.closed:
+            _default_pool = WorkerPool()
+        return _default_pool
+
+
+def configure_pool(max_workers=None, start_method=None,
+                   chunk_target_s=None):
+    """Replace the default pool with one of the given shape.
+
+    Closes the current default (its warm state is dropped) and returns
+    the new pool.  ``chunk_target_s`` tunes how much measured work one
+    IPC round-trip should carry.
+    """
+    global _default_pool
+    with _default_lock:
+        if _default_pool is not None and not _default_pool.closed:
+            _default_pool.close()
+        kwargs = {}
+        if chunk_target_s is not None:
+            kwargs["chunk_target_s"] = chunk_target_s
+        _default_pool = WorkerPool(max_workers=max_workers,
+                                   start_method=start_method, **kwargs)
+        return _default_pool
+
+
+def _close_default_pool():  # pragma: no cover - interpreter exit
+    global _default_pool
+    with _default_lock:
+        pool, _default_pool = _default_pool, None
+    if pool is not None and not pool.closed:
+        pool.close()
+
+
+atexit.register(_close_default_pool)

@@ -1,13 +1,16 @@
-"""Process-pool worker side of the batch engine.
+"""Worker side of the batch engine.
 
 A worker process never receives a compiled function object — function
 objects do not pickle, and shipping code objects across process
-boundaries would tie the pool to one interpreter state.  Instead each
-task carries the kernel's *spec* (see
-:meth:`repro.compiler.kernel.CompiledKernel.to_spec`): the optimized
-source, the binding plan, and the per-slot format signatures.  The
-worker re-``exec``\\ s the source once, memoizes the rebuilt artifact
-in a per-process cache, and binds it to each incoming dataset.
+boundaries would tie the pool to one interpreter state.  Instead the
+pool ships each kernel's *spec* (see
+:meth:`repro.compiler.kernel.CompiledKernel.to_spec`) **once per
+worker**: the first chunk of a kernel carries the spec, every later
+chunk carries only its digest, and the worker resolves the digest
+against its per-process spec cache.  The worker re-``exec``\\ s the
+source once, memoizes the rebuilt artifact, and rebinds it to each
+incoming dataset's shared-memory views (:mod:`repro.exec.shm` — no
+tensor bytes are unpickled).
 
 When a persistent kernel store is configured (``FL_KERNEL_STORE`` in
 the environment workers inherit, or an explicit
@@ -17,20 +20,32 @@ a store hit loads the persisted entry, a miss rebuilds from the spec
 and writes the entry behind — so the *next* fleet of workers, in any
 future process, starts warm.
 
-Everything here must stay importable at module top level so
-``concurrent.futures.ProcessPoolExecutor`` can pickle task references
-under any start method (fork, spawn, forkserver).
+:func:`worker_main` is the long-lived loop :class:`repro.exec.pool.WorkerPool`
+spawns; :func:`run_chunk` is the per-chunk engine, kept free of
+process state so the hygiene tests can drive it in-process.
+Everything here must stay importable at module top level so worker
+processes can start under any start method (fork, spawn, forkserver).
 """
 
 import os
+import pickle
 import time
+from collections import OrderedDict
 
 import numpy as np
 
 #: Per-process memo of rebuilt artifacts, keyed by the spec's identity.
 #: One worker re-``exec``\\ s each distinct kernel at most once, no
-#: matter how many datasets of that kernel it is handed.
-_ARTIFACTS = {}
+#: matter how many datasets of that kernel it is handed.  Bounded so a
+#: long fuzz campaign against a persistent pool cannot grow a worker
+#: without limit.
+_ARTIFACTS = OrderedDict()
+_ARTIFACT_MEMO_CAP = 256
+
+#: Per-process spec cache, keyed by the digest the pool ships with
+#: every chunk.  Filled the first time a kernel reaches this worker;
+#: later chunks of the same kernel carry the digest only.
+_SPECS = {}
 
 
 def _spec_key(spec):
@@ -55,6 +70,7 @@ def artifact_from_spec(spec):
     key = _spec_key(spec)
     artifact = _ARTIFACTS.get(key)
     if artifact is not None:
+        _ARTIFACTS.move_to_end(key)
         return artifact, True, False
     store = active_store()
     store_hit = False
@@ -67,6 +83,8 @@ def artifact_from_spec(spec):
         if store is not None:
             store.save_spec(meta, spec)
     _ARTIFACTS[key] = artifact
+    while len(_ARTIFACTS) > _ARTIFACT_MEMO_CAP:
+        _ARTIFACTS.popitem(last=False)
     return artifact, False, store_hit
 
 
@@ -75,9 +93,9 @@ def snapshot_tensor(tensor):
 
     Densifies through ``to_numpy`` when the tensor supports it (real
     tensors and output builders), falling back to the scalar ``value``
-    protocol.  Snapshots — not live buffers — are what crosses back
-    over the process boundary, so results compare bit-identically
-    across executors.
+    protocol.  Snapshots — never live buffers — are what
+    :class:`repro.exec.batch.BatchResult` hands back, so results
+    compare bit-identically across executors.
     """
     to_numpy = getattr(tensor, "to_numpy", None)
     if to_numpy is not None:
@@ -86,11 +104,12 @@ def snapshot_tensor(tensor):
 
 
 def run_spec_task(spec, tensors, index, output_slots):
-    """Run one dataset against a spec-rebuilt kernel (worker entry).
+    """Run one dataset against a spec-rebuilt kernel.
 
-    Returns a plain result dict (index, output snapshots, op count,
-    worker id, seconds, artifact-cache flag) — everything the parent
-    needs to assemble a :class:`repro.exec.batch.BatchItem`.
+    The one-task-at-a-time predecessor of :func:`run_chunk`, kept for
+    direct callers that hold real tensors (no shm transport): returns
+    a plain result dict (index, output snapshots, op count, worker id,
+    seconds, artifact-cache flag).
     """
     start = time.perf_counter()
     artifact, cached, store_hit = artifact_from_spec(spec)
@@ -108,3 +127,146 @@ def run_spec_task(spec, tensors, index, output_slots):
         "spec_rebuild": not cached,
         "store_hit": store_hit,
     }
+
+
+def _maybe_crash(index):
+    """Fault injection for the pool's self-healing tests: when
+    ``FL_EXEC_CRASH_FILE`` names a file holding a dataset index, a
+    worker handed that index dies hard (``os._exit``) — the closest
+    reproducible stand-in for a segfaulting native kernel."""
+    path = os.environ.get("FL_EXEC_CRASH_FILE")
+    if not path:
+        return
+    try:
+        with open(path) as handle:
+            target = int(handle.read().strip())
+    except (OSError, ValueError):
+        return
+    if target == index:
+        os._exit(17)
+
+
+def _pickle_exception(exc):
+    """The exception as pipe-safe bytes, degrading to a RuntimeError
+    carrying the original type name when the instance won't pickle."""
+    try:
+        return pickle.dumps(exc, pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        fallback = RuntimeError(
+            "%s: %s" % (type(exc).__name__, exc))
+        return pickle.dumps(fallback, pickle.HIGHEST_PROTOCOL)
+
+
+def run_chunk(chunk, cache, mark=None):
+    """Run one chunk of datasets against shared-memory payloads.
+
+    ``chunk`` carries the kernel digest (plus the spec itself on the
+    first chunk a worker sees), the staging segment name, and one
+    transport payload per dataset (:func:`repro.exec.shm.describe_args`).
+    ``mark`` publishes the in-flight dataset index (the pool's crash
+    attribution); ``cache`` is the worker's
+    :class:`repro.exec.shm.SegmentCache`.
+
+    Returns per-dataset results (ops, seconds, rebuild/store flags,
+    post-run builder state for ``obj_outputs``) plus at most one error
+    record; execution stops at the first failing dataset.  Transient
+    segment attachments are always released before returning.
+    """
+    from repro.exec import shm as _shm
+
+    digest = chunk["digest"]
+    if chunk.get("spec") is not None:
+        _SPECS[digest] = chunk["spec"]
+    spec = _SPECS.get(digest)
+    worker = "pid-%d" % os.getpid()
+    results = []
+    error = None
+    args = None
+    index = None
+    try:
+        if spec is None:
+            raise RuntimeError(
+                "worker %s has no spec for digest %s (pool protocol "
+                "error: specs ship with a kernel's first chunk)"
+                % (worker, digest))
+        for payload in chunk["datasets"]:
+            index = payload["index"]
+            if mark is not None:
+                mark(index)
+            try:
+                _maybe_crash(index)
+                start = time.perf_counter()
+                artifact, cached, store_hit = artifact_from_spec(spec)
+                args = _shm.build_args(payload, chunk.get("staging"),
+                                       cache)
+                result = artifact.fn(*args)
+                seconds = time.perf_counter() - start
+                results.append({
+                    "index": index,
+                    "ops": (int(result) if artifact.instrument
+                            else None),
+                    "worker": worker,
+                    "seconds": seconds,
+                    "spec_rebuild": not cached,
+                    "store_hit": store_hit,
+                    "obj_updates": {
+                        j: dict(payload["objs"][j].__dict__)
+                        for j in payload["obj_outputs"]},
+                })
+            finally:
+                args = None
+    except Exception as exc:
+        error = {"index": index, "exc": _pickle_exception(exc)}
+    finally:
+        if mark is not None:
+            mark(-1)
+        cache.release_transient()
+    if error is not None and error["index"] is None:
+        first = chunk["datasets"][0]["index"] if chunk["datasets"] else 0
+        error["index"] = first
+    return {"worker": worker, "results": results, "error": error}
+
+
+def worker_main(conn, progress_name, slot, nslots):
+    """The long-lived loop of one :class:`repro.exec.pool.WorkerPool`
+    worker: attach the pool's progress array, then serve chunk
+    messages off the duplex pipe until shutdown or EOF.
+
+    Messages travel as explicit pickle bytes (``send_bytes``) so the
+    parent serializes exactly once and can meter the pickled payload
+    size — the instrumentation that proves tensor data stays out of
+    the pipe.
+    """
+    from repro.exec import shm as _shm
+
+    cache = _shm.SegmentCache()
+    progress = None
+    if progress_name is not None:
+        seg = cache.attach(progress_name, pinned=True)
+        progress = seg.view(0, np.int64, (nslots,))
+
+    def mark(value):
+        if progress is not None:
+            progress[slot] = value
+
+    try:
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            message = pickle.loads(data)
+            if message.get("op") == "shutdown":
+                break
+            reply = run_chunk(message, cache, mark)
+            try:
+                conn.send_bytes(
+                    pickle.dumps(reply, pickle.HIGHEST_PROTOCOL))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        cache.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -56,6 +56,10 @@ from repro.exec import (
     BatchItem,
     BatchResult,
     KernelPool,
+    ShmArena,
+    WorkerPool,
+    configure_pool,
+    default_pool,
     run_batch,
 )
 from repro.ir import MISSING, ops
@@ -66,6 +70,7 @@ from repro.store import (
     load_pack,
 )
 from repro.tensors.output import RunOutput, SparseOutput
+from repro.tensors.share import share_dataset, share_tensor
 from repro.tensors import (
     Scalar,
     convert,
@@ -97,11 +102,12 @@ __all__ = [
     "pass_", "permit", "reduce_into", "sieve", "store", "walk", "where",
     "window", "CompiledKernel", "Kernel", "KernelCache",
     "compile_kernel", "execute", "kernel_cache", "MISSING", "ops",
-    "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "run_batch",
+    "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "ShmArena",
+    "WorkerPool", "configure_pool", "default_pool", "run_batch",
     "KernelStore", "active_store", "configure_store", "load_pack",
     "fuzz_one", "run_fuzz",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",
-    "symmetric_from_numpy",
+    "share_dataset", "share_tensor", "symmetric_from_numpy",
     "triangular_from_numpy", "zeros",
 ]

@@ -65,11 +65,14 @@ STORE_VERSION = 1
 #: Filename prefix of one store entry.
 _ENTRY_PREFIX = "k_"
 
-#: Source modules whose changes invalidate every stored kernel: the
-#: lowering pipeline, the target IR, and the runtime namespace emitted
-#: code executes against.  The optimizer pipeline hashes itself (see
-#: :func:`repro.ir.optimize.pipeline_fingerprint`).
-_CODEGEN_MODULES = (
+#: Root modules of the code generator: the lowering pipeline entry
+#: points, the target IR, and the runtime namespace emitted code
+#: executes against.  The fingerprint walks the *import graph* from
+#: these roots (:func:`_codegen_modules`), so a new helper module
+#: pulled in by the emitter invalidates stored kernels without anyone
+#: remembering to list it here.  The optimizer pipeline hashes itself
+#: (see :func:`repro.ir.optimize.pipeline_fingerprint`).
+_CODEGEN_ROOTS = (
     "repro.compiler.lower",
     "repro.compiler.unfurl",
     "repro.compiler.stmt_simplify",
@@ -79,31 +82,123 @@ _CODEGEN_MODULES = (
     "repro.ir.runtime",
 )
 
-_CODEGEN_FINGERPRINT = None
+_FINGERPRINTS = {}  # roots tuple -> memoized digest
 
 
-def codegen_fingerprint():
-    """A short digest over the code-generation modules.
+def _module_source(name):
+    """The on-disk source bytes of ``name``, or None when the module
+    cannot be located or has no file (namespace packages).
 
-    Combined with :func:`~repro.ir.optimize.pipeline_fingerprint` in
-    every store key: editing the lowerer or the emitter must turn all
-    previously stored kernels into misses.
+    Resolved with ``PathFinder`` directly — unlike
+    ``importlib.util.find_spec`` this imports nothing (not even parent
+    packages), so fingerprinting never executes backend code.
     """
-    global _CODEGEN_FINGERPRINT
-    if _CODEGEN_FINGERPRINT is None:
-        import importlib
+    from importlib.machinery import PathFinder
 
-        digest = hashlib.sha256()
-        for name in _CODEGEN_MODULES:
-            module = importlib.import_module(name)
-            path = getattr(module, "__file__", None)
-            try:
-                with open(path, "rb") as handle:
-                    digest.update(handle.read())
-            except (OSError, TypeError):  # pragma: no cover
-                digest.update(name.encode("utf-8"))
-        _CODEGEN_FINGERPRINT = digest.hexdigest()[:16]
-    return _CODEGEN_FINGERPRINT
+    parts = name.split(".")
+    path = None
+    spec = None
+    for depth in range(len(parts)):
+        spec = PathFinder.find_spec(".".join(parts[:depth + 1]), path)
+        if spec is None:
+            return None
+        path = spec.submodule_search_locations
+    if not spec.origin or not os.path.exists(spec.origin):
+        return None
+    with open(spec.origin, "rb") as handle:
+        return handle.read()
+
+
+def _imported_modules(source, module, package_prefix):
+    """Module names under ``package_prefix`` that ``module`` imports,
+    read from its AST (no code is executed)."""
+    import ast
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - unparsable dependency
+        return set()
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    found = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: resolve against this package
+                parts = package.split(".")
+                if node.level > 1:
+                    parts = parts[:-(node.level - 1)]
+                base = ".".join(parts)
+                if node.module:
+                    base = "%s.%s" % (base, node.module)
+            else:
+                base = node.module or ""
+            if base:
+                found.add(base)
+                # ``from pkg import sub`` may name submodules.
+                for alias in node.names:
+                    found.add("%s.%s" % (base, alias.name))
+    return {name for name in found
+            if name == package_prefix
+            or name.startswith(package_prefix + ".")}
+
+
+def _codegen_modules(roots, package_prefix):
+    """The transitive import closure of ``roots`` inside the package,
+    as ``{module name: source bytes}`` — the actual backend module
+    graph, discovered rather than hand-maintained."""
+    sources = {}
+    queue = list(roots)
+    while queue:
+        name = queue.pop()
+        if name in sources:
+            continue
+        source = _module_source(name)
+        if source is None:
+            continue
+        sources[name] = source
+        queue.extend(_imported_modules(source, name, package_prefix)
+                     - sources.keys())
+    return sources
+
+
+def codegen_fingerprint(roots=None, package_prefix=None):
+    """A short digest over the code-generation module graph.
+
+    Walks imports transitively from the backend root modules and
+    hashes every reachable in-package source file, sorted by module
+    name.  Combined with
+    :func:`~repro.ir.optimize.pipeline_fingerprint` in every store
+    key: editing the lowerer, the emitter, *or any module they pull
+    in* must turn all previously stored kernels into misses — and so
+    must adding a new module to the graph.
+
+    ``roots``/``package_prefix`` exist for tests; only the default
+    (production) call is memoized — explicit roots re-scan, so tests
+    can observe a changed module graph.
+    """
+    memoize = roots is None and package_prefix is None
+    if roots is None:
+        roots = _CODEGEN_ROOTS
+    roots = tuple(roots)
+    if package_prefix is None:
+        package_prefix = roots[0].split(".")[0]
+    key = (roots, package_prefix)
+    if memoize:
+        cached = _FINGERPRINTS.get(key)
+        if cached is not None:
+            return cached
+    digest = hashlib.sha256()
+    sources = _codegen_modules(roots, package_prefix)
+    for name in sorted(sources):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(sources[name])
+    fingerprint = digest.hexdigest()[:16]
+    if memoize:
+        _FINGERPRINTS[key] = fingerprint
+    return fingerprint
 
 
 def store_key_meta(structural_key, instrument, name,

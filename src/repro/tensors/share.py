@@ -1,0 +1,47 @@
+"""Adopt tensors into a shared-memory arena for zero-copy batching.
+
+:func:`share_tensor` moves every buffer of a fiber-tree tensor into a
+:class:`~repro.exec.shm.ShmArena` — one copy, at adoption time.  The
+tensor keeps working exactly as before in this process (its levels now
+hold numpy views over the arena segments), but from then on the
+``processes`` executor ships it to workers as a descriptor instead of
+bytes: workers map the same physical pages and rebind views, and
+writes to *output* tensors land directly in the caller's buffers.
+
+This works generically over every level format because the buffer
+name hints returned by ``Level.buffers()`` are, by convention, the
+level's attribute names (``pos``, ``idx``, ``val``, ...) — the same
+convention the kernel binding plan relies on.
+
+The benchmark harness adopts its datasets up front so that repeated
+batches move zero tensor bytes; long-running services can do the same
+for standing inputs.  Output *builders* (:class:`~repro.tensors.output.RunOutput`
+and friends) hold plain-Python result streams, not ndarrays, and pass
+through unchanged.
+"""
+
+
+def share_tensor(tensor, arena):
+    """Move ``tensor``'s buffers into ``arena``; returns the tensor.
+
+    Safe to call on any dataset member: objects without the fiber-tree
+    buffer protocol (output builders) are returned untouched.
+    """
+    levels = getattr(tensor, "levels", None)
+    element = getattr(tensor, "element", None)
+    if levels is None or element is None:
+        return tensor
+    for level in levels:
+        for hint, array in level.buffers().items():
+            setattr(level, hint, arena.add(array))
+    element.val = arena.add(element.val)
+    return tensor
+
+
+def share_dataset(tensors, arena):
+    """Adopt every tensor of one dataset; returns the same
+    sequence (or name->tensor mapping)."""
+    members = tensors.values() if hasattr(tensors, "values") else tensors
+    for tensor in members:
+        share_tensor(tensor, arena)
+    return tensors

@@ -83,6 +83,29 @@ class SpecError(ReproError):
         super().__init__(message)
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker process died without reporting a result.
+
+    Raised (wrapped in :class:`BatchExecutionError`) when a worker of
+    :class:`repro.exec.pool.WorkerPool` exits hard mid-chunk — a
+    segfault in native code, an ``os._exit``, or an OOM kill.  The
+    pool reads its progress array to attribute the crash to the
+    dataset that was in flight, then respawns the worker so the next
+    batch runs on a full fleet.
+    """
+
+    def __init__(self, worker, exitcode, index):
+        self.worker = worker
+        self.exitcode = exitcode
+        self.index = index
+        super().__init__(
+            "worker %s died (exitcode %r) while running dataset %d"
+            % (worker, exitcode, index))
+
+    def __reduce__(self):
+        return (type(self), (self.worker, self.exitcode, self.index))
+
+
 class BatchExecutionError(ReproError):
     """A batched kernel run failed on one dataset.
 

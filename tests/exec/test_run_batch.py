@@ -122,10 +122,14 @@ def test_multi_output_differential():
                                    make_mat(seed) @ vec)
 
 
-def test_serial_and_threads_mutate_datasets_in_place():
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_every_executor_mutates_datasets_in_place(executor):
+    """All three executors write outputs into the caller's tensors:
+    serial/threads run in-process, and the processes executor writes
+    back through its shared-memory transport."""
     template = dot_program(*make_pair(0))
     datasets = dot_datasets(3)
-    result = run_batch(template, datasets, executor="threads",
+    result = run_batch(template, datasets, executor=executor,
                        max_workers=2)
     for tensors, item in zip(datasets, result):
         scalar = tensors[named(tensors, "C")]
@@ -304,19 +308,26 @@ def test_pool_reuse_accumulates_stats():
 
 
 def test_process_workers_rebuild_spec_once():
+    from repro.exec import WorkerPool
+
     template = dot_program(*make_pair(0))
     kernel = fl.compile_kernel(template, instrument=True)
-    with KernelPool(kernel, executor="processes",
-                    max_workers=2) as pool:
-        pool.map(dot_datasets(6, start_seed=1))
-        pool.map(dot_datasets(6, start_seed=7))
-        stats = pool.stats()
+    # A fresh explicit pool: the shared default pool's workers may
+    # have rebuilt this very spec for an earlier test already.
+    with WorkerPool(max_workers=2) as workers:
+        with KernelPool(kernel, executor="processes",
+                        worker_pool=workers) as pool:
+            pool.map(dot_datasets(6, start_seed=1))
+            pool.map(dot_datasets(6, start_seed=7))
+            stats = pool.stats()
     assert stats["runs"] == 12
     # Each worker process re-execs the spec at most once, then serves
-    # every later dataset from its artifact cache.
+    # every later dataset from its artifact cache — and the spec
+    # itself crossed the pipe at most once per worker (ship-once).
     assert 1 <= stats["spec_rebuilds"] <= pool.max_workers
     for entry in stats["workers"].values():
         assert entry["spec_rebuilds"] <= 1
+    assert 1 <= stats["pool"]["specs_shipped"] <= pool.max_workers
 
 
 def test_unserializable_kernel_rejected_for_processes():

@@ -337,3 +337,91 @@ def test_uncreatable_store_root_degrades_to_no_tier(tmp_path):
         kernel = fl.compile_kernel(dot_program()[0])
         assert not kernel.from_cache
     assert store.stats()["entries"] == 0
+
+
+class TestCodegenFingerprint:
+    """The fingerprint is derived from the backend's actual import
+    graph, not a hand-maintained module list (PR 6 satellite)."""
+
+    @staticmethod
+    def _package(root, extra_module=False, body_suffix=""):
+        pkg = root / "fpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "emitter.py").write_text(
+            "from fpkg import helper\n\n"
+            "def emit():\n    return helper.help()\n" + body_suffix)
+        helper = "def help():\n    return 1\n"
+        if extra_module:
+            helper = "from fpkg import newpass\n" + helper
+            (pkg / "newpass.py").write_text("def run():\n    return 2\n")
+        (pkg / "helper.py").write_text(helper)
+        return pkg
+
+    def test_walks_transitive_imports(self, tmp_path, monkeypatch):
+        from repro.store.disk import _codegen_modules
+
+        self._package(tmp_path)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        modules = _codegen_modules(("fpkg.emitter",), "fpkg")
+        # The package __init__ rides along (``from fpkg import ...``).
+        assert set(modules) == {"fpkg", "fpkg.emitter", "fpkg.helper"}
+
+    def test_adding_a_codegen_module_changes_fingerprint(
+            self, tmp_path, monkeypatch):
+        """A brand-new module pulled into the graph — the case a
+        hand-maintained list silently misses — must invalidate."""
+        from repro.store.disk import codegen_fingerprint
+
+        base = tmp_path / "a"
+        base.mkdir()
+        self._package(base)
+        monkeypatch.syspath_prepend(str(base))
+        before = codegen_fingerprint(("fpkg.emitter",), "fpkg")
+
+        import importlib
+        grown = tmp_path / "b"
+        grown.mkdir()
+        self._package(grown, extra_module=True)
+        monkeypatch.syspath_prepend(str(grown))
+        importlib.invalidate_caches()
+        after = codegen_fingerprint(("fpkg.emitter",), "fpkg")
+        assert before != after
+
+    def test_editing_a_leaf_module_changes_fingerprint(
+            self, tmp_path, monkeypatch):
+        from repro.store.disk import codegen_fingerprint
+
+        base = tmp_path / "a"
+        base.mkdir()
+        self._package(base)
+        monkeypatch.syspath_prepend(str(base))
+        before = codegen_fingerprint(("fpkg.emitter",), "fpkg")
+
+        import importlib
+        edited = tmp_path / "b"
+        edited.mkdir()
+        pkg = edited / "fpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "emitter.py").write_text(
+            "from fpkg import helper\n\n"
+            "def emit():\n    return helper.help()\n")
+        (pkg / "helper.py").write_text("def help():\n    return 99\n")
+        monkeypatch.syspath_prepend(str(edited))
+        importlib.invalidate_caches()
+        after = codegen_fingerprint(("fpkg.emitter",), "fpkg")
+        assert before != after
+
+    def test_production_fingerprint_is_stable_and_covers_backend(self):
+        from repro.store.disk import (_CODEGEN_ROOTS, _codegen_modules,
+                                      codegen_fingerprint)
+
+        first = codegen_fingerprint()
+        assert first == codegen_fingerprint()
+        assert len(first) == 16
+        modules = _codegen_modules(_CODEGEN_ROOTS, "repro")
+        # Roots are in their own closure, and the walk found
+        # dependencies no hand-written list mentioned.
+        assert set(_CODEGEN_ROOTS) <= set(modules)
+        assert len(modules) > len(_CODEGEN_ROOTS)

@@ -170,6 +170,54 @@ def test_scaling_gate_skipped_on_small_worker_pools():
     assert checker.check_gates("BENCH_fig1_dot_throughput", fast) == []
 
 
+def test_efficiency_gate_is_nproc_aware():
+    """The processes scaling-efficiency floor only applies on 4+
+    worker runners; below that it self-skips."""
+    for workers in (1, 2, 3):
+        small = {"executors": {"processes": {"efficiency": 0.1,
+                                             "max_workers": workers}}}
+        assert checker.check_gates("BENCH_fig1_dot_throughput",
+                                   small) == []
+    slow = {"executors": {"processes": {"efficiency": 0.2,
+                                        "max_workers": 4}}}
+    failures = checker.check_gates("BENCH_fig1_dot_throughput", slow)
+    assert any("gate miss" in failure for failure in failures)
+    scaled = {"executors": {"processes": {"efficiency": 0.85,
+                                          "max_workers": 4}}}
+    assert checker.check_gates("BENCH_fig1_dot_throughput",
+                               scaled) == []
+
+
+def test_overhead_stage_leaves_are_runtime_gated():
+    """Per-stage batch overheads regress like any run-time metric."""
+    base = {"executors": {"processes": {"overhead": {
+        "serialize_s": 0.1, "transport_s": 0.1,
+        "execute_s": 1.0, "collect_s": 0.1}}}}
+    fresh = {"executors": {"processes": {"overhead": {
+        "serialize_s": 0.1, "transport_s": 0.5,
+        "execute_s": 1.0, "collect_s": 0.1}}}}
+    failures, checked = checker.compare_payloads("BENCH_x", base, fresh)
+    assert checked >= 4
+    assert any("transport_s" in failure and "regressed" in failure
+               for failure in failures)
+
+
+def test_efficiency_only_compared_at_equal_worker_counts():
+    """A 1-core baseline must not gate a 4-core runner's efficiency
+    (and vice versa) — only the absolute floors apply there."""
+    base = {"executors": {"processes": {
+        "efficiency": 0.95, "max_workers": 1, "wall_seconds": 1.0}}}
+    fresh = {"executors": {"processes": {
+        "efficiency": 0.72, "max_workers": 4, "wall_seconds": 0.35}}}
+    failures, _ = checker.compare_payloads("BENCH_x", base, fresh)
+    assert failures == []
+    same = {"executors": {"processes": {
+        "efficiency": 0.40, "max_workers": 1, "wall_seconds": 2.4}}}
+    failures, _ = checker.compare_payloads("BENCH_x", base, same)
+    assert any("efficiency" in failure and "dropped" in failure
+               for failure in failures)
+
+
 def test_end_to_end_main_detects_regression(tmp_path, capsys):
     baselines = tmp_path / "baselines"
     reports = tmp_path / "reports"

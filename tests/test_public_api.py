@@ -52,6 +52,16 @@ def test_emitted_code_has_figure_1b_shape():
     assert abs(C.value - float(a @ b)) < 1e-12
 
 
+def test_data_plane_surface():
+    """The warm-pool data plane is part of the public namespace."""
+    import repro.lang as fl
+
+    for name in ("WorkerPool", "configure_pool", "default_pool",
+                 "ShmArena", "share_dataset", "share_tensor"):
+        assert name in fl.__all__
+        assert getattr(fl, name) is not None
+
+
 def test_subpackage_imports():
     import repro
     import repro.baselines
