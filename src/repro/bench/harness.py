@@ -239,7 +239,7 @@ def throughput_table(title, program, datasets, executors=(
                             **compile_opts)
     table = Table(title, ["executor", "workers", "seconds", "items/s",
                           "vs serial", "efficiency", "xport (s)",
-                          "exec (s)", "ops"])
+                          "exec (s)", "ops", "faults"])
     payload = {"title": title, "items": len(datasets),
                "executors": {}, "identical": True}
     baseline_name = "serial" if "serial" in executors else executors[0]
@@ -276,10 +276,17 @@ def throughput_table(title, program, datasets, executors=(
         transport = (overhead.get("serialize_s", 0.0)
                      + overhead.get("transport_s", 0.0)
                      + overhead.get("collect_s", 0.0))
+        faults = dict(result.faults)
+        # Recovered-fault events only (backoff_s is wall time, not a
+        # count): a healthy benchmark run shows 0 everywhere, so any
+        # nonzero here flags contaminated timings.
+        fault_events = sum(value for key, value in faults.items()
+                           if key != "backoff_s")
         table.add(executor, result.max_workers, result.wall_seconds,
                   rate, boost, efficiency, transport,
                   overhead.get("execute_s", 0.0),
-                  result.total_ops if instrument else "-")
+                  result.total_ops if instrument else "-",
+                  fault_events)
         payload["executors"][executor] = {
             "max_workers": result.max_workers,
             "wall_seconds": result.wall_seconds,
@@ -289,6 +296,7 @@ def throughput_table(title, program, datasets, executors=(
             "total_ops": result.total_ops,
             "bit_identical": same,
             "overhead": overhead,
+            "faults": faults,
         }
     return table, payload
 

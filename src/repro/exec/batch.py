@@ -37,9 +37,16 @@ artifact, and each dataset must carry its own output tensors (shared
 output buffers would race under the parallel executors).  Failures
 inside a worker propagate as
 :class:`~repro.util.errors.BatchExecutionError` with the index of the
-dataset that raised — including workers that die hard mid-chunk, which
-surface as a wrapped :class:`~repro.util.errors.WorkerCrashError` and
-are respawned by the pool.
+dataset that raised — including workers that die hard mid-chunk
+(wrapped :class:`~repro.util.errors.WorkerCrashError`) or wedge past
+the watchdog deadline (wrapped
+:class:`~repro.util.errors.WorkerStallError`), both respawned by the
+pool.  Transient failures are retried with backoff up to
+``max_retries`` before they count; the ``on_failure`` policy then
+decides whether a permanent failure aborts the batch (``raise``),
+falls back to a simpler executor for the affected datasets
+(``degrade``), or is reported per-dataset in
+:attr:`BatchResult.failures` (``skip``).
 
 All three executors write outputs into the caller's dataset tensors in
 place: serial and threads run in-process, and the processes executor
@@ -51,6 +58,7 @@ which behave identically everywhere.
 
 import hashlib
 import os
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -62,14 +70,37 @@ from repro.compiler.kernel import compile_kernel, resolve_name_overrides
 from repro.exec import pool as _pool
 from repro.exec import shm as _shm
 from repro.exec import worker as _worker
-from repro.util.errors import BatchExecutionError, BindingError
+from repro.util.errors import (BatchExecutionError, BindingError,
+                               is_transient)
 
 #: The executor names :func:`run_batch` accepts.
 EXECUTORS = ("serial", "threads", "processes")
 
+#: The failure policies :func:`run_batch` accepts.  ``raise`` aborts
+#: on the first failing dataset (the default and the historical
+#: behavior); ``degrade`` re-runs failed datasets on progressively
+#: simpler executors (processes -> threads -> serial) and only raises
+#: when the serial re-run fails too (a genuinely poison dataset);
+#: ``skip`` never raises per-dataset — failed datasets land in
+#: :attr:`BatchResult.failures` keyed by index.
+ON_FAILURE = ("raise", "degrade", "skip")
+
 #: The per-stage overhead keys every executor reports.
 OVERHEAD_STAGES = ("serialize_s", "transport_s", "execute_s",
                    "collect_s")
+
+#: The per-batch fault keys every executor reports: the pool's
+#: :data:`repro.exec.pool.FAULT_KEYS` plus the datasets re-run on a
+#: lower executor tier by the ``degrade`` policy.
+FAULT_KEYS = _pool.FAULT_KEYS + ("degraded",)
+
+#: Default transient-failure retry budget per dataset.
+DEFAULT_MAX_RETRIES = 2
+
+
+def _fresh_faults():
+    return {key: (0.0 if key == "backoff_s" else 0)
+            for key in FAULT_KEYS}
 
 
 class BatchItem:
@@ -98,17 +129,27 @@ class BatchResult:
     kernel was not instrumented); ``stats`` is the pool's cumulative
     per-worker statistics snapshot taken when the batch finished;
     ``overhead`` is this batch's per-stage time breakdown
-    (serialize / transport / execute / collect seconds).
+    (serialize / transport / execute / collect seconds);
+    ``faults`` is this batch's fault-tolerance ledger (retries,
+    crashes, stalls, transient errors, backoff seconds, datasets
+    degraded to a simpler executor); ``failures`` maps dataset index
+    -> :class:`~repro.util.errors.BatchExecutionError` for datasets
+    the ``skip`` policy gave up on (empty under other policies —
+    they raise instead).
     """
 
     def __init__(self, items, executor, max_workers, wall_seconds,
-                 stats=None, overhead=None):
+                 stats=None, overhead=None, faults=None,
+                 failures=None):
         self.items = sorted(items, key=lambda item: item.index)
         self.executor = executor
         self.max_workers = max_workers
         self.wall_seconds = wall_seconds
         self.stats = stats or {}
         self.overhead = dict(overhead or {})
+        self.faults = dict(faults if faults is not None
+                           else _fresh_faults())
+        self.failures = dict(failures or {})
 
     @property
     def outputs(self):
@@ -165,11 +206,16 @@ class KernelPool:
     """
 
     def __init__(self, kernel, executor="threads", max_workers=None,
-                 worker_pool=None):
+                 worker_pool=None, on_failure="raise",
+                 max_retries=None, deadline_s=None, backoff_s=None):
         if executor not in EXECUTORS:
             raise ValueError(
                 "unknown executor %r (choose from %s)"
                 % (executor, ", ".join(EXECUTORS)))
+        if on_failure not in ON_FAILURE:
+            raise ValueError(
+                "unknown on_failure policy %r (choose from %s)"
+                % (on_failure, ", ".join(ON_FAILURE)))
         if worker_pool is not None and executor != "processes":
             raise ValueError(
                 "worker_pool only applies to the processes executor")
@@ -191,6 +237,12 @@ class KernelPool:
         self._worker_pool = worker_pool
         self._explicit_pool = worker_pool is not None
         self._owns_worker_pool = False
+        self.on_failure = on_failure
+        self.max_retries = (DEFAULT_MAX_RETRIES if max_retries is None
+                            else int(max_retries))
+        self.deadline_s = (None if deadline_s is None
+                           else float(deadline_s))
+        self.backoff_s = 0.05 if backoff_s is None else float(backoff_s)
         self._spec = None
         self._spec_digest = None
         self._closed = False
@@ -198,6 +250,7 @@ class KernelPool:
         self._stats_lock = threading.Lock()
         self._worker_stats = {}
         self._overhead = dict.fromkeys(OVERHEAD_STAGES, 0.0)
+        self._faults = _fresh_faults()
         self._thread_ids = threading.local()
         self._thread_counter = 0
 
@@ -305,6 +358,19 @@ class KernelPool:
         with self._stats_lock:
             return dict(self._overhead)
 
+    def _note_fault(self, key, amount=1):
+        with self._stats_lock:
+            self._faults[key] += amount
+
+    def _merge_faults(self, faults):
+        with self._stats_lock:
+            for key, value in faults.items():
+                self._faults[key] += value
+
+    def _faults_snapshot(self):
+        with self._stats_lock:
+            return dict(self._faults)
+
     def stats(self):
         """Cumulative per-worker and aggregate execution statistics.
 
@@ -321,6 +387,7 @@ class KernelPool:
             workers = {name: dict(entry)
                        for name, entry in self._worker_stats.items()}
             overhead = dict(self._overhead)
+            faults = dict(self._faults)
         out = {
             "executor": self.executor,
             "max_workers": self.max_workers,
@@ -332,6 +399,7 @@ class KernelPool:
                               for e in workers.values()),
             "workers": workers,
             "overhead": overhead,
+            "faults": faults,
         }
         if self.executor == "processes" and self._worker_pool is not None:
             out["pool"] = self._worker_pool.stats()
@@ -416,14 +484,42 @@ class KernelPool:
     def _wrap_failure(self, index, exc, tensors=None):
         """The enriched batch error for one failing dataset: index,
         tensor names, kernel name, and structural-key digest."""
-        return BatchExecutionError(
+        error = BatchExecutionError(
             index, exc,
             dataset_names=(self._dataset_names(tensors)
                            if tensors is not None else None),
             kernel_name=self._artifact.name,
             structural_key=self._artifact.structural_key)
+        # Wrapped failures may be collected (skip policy) instead of
+        # raised in an ``except`` block, so chain the cause explicitly.
+        error.__cause__ = exc
+        return error
 
     def _run_local(self, index, tensors, worker_id):
+        """One dataset, in-process, with the transient retry policy.
+
+        An in-process :class:`TransientError` (store IO flake, shm
+        attach race from an arena-resident input) is retried with
+        exponential backoff up to ``max_retries``; anything else is a
+        deterministic kernel exception and raises immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._run_local_once(index, tensors, worker_id)
+            except BatchExecutionError as exc:
+                if (not is_transient(exc.cause)
+                        or attempt >= self.max_retries):
+                    raise
+                attempt += 1
+                self._note_fault("transient_errors")
+                self._note_fault("retries")
+                delay = min(1.0, self.backoff_s * 2 ** (attempt - 1))
+                delay *= 1.0 + random.random()  # jitter
+                self._note_fault("backoff_s", delay)
+                time.sleep(delay)
+
+    def _run_local_once(self, index, tensors, worker_id):
         start = time.perf_counter()
         try:
             args = self._artifact.bind(tensors)
@@ -450,36 +546,116 @@ class KernelPool:
     def map(self, datasets):
         """Run every dataset; returns a :class:`BatchResult`.
 
-        Datasets run concurrently under the pool's executor, results
-        come back in dataset order, and the first failing dataset (in
-        index order) raises a
+        Datasets run concurrently under the pool's executor and
+        results come back in dataset order.  What a failing dataset
+        does depends on the ``on_failure`` policy: ``raise`` (default)
+        raises the first failure (in index order) as a
         :class:`~repro.util.errors.BatchExecutionError` carrying its
-        index.
+        index; ``degrade`` re-runs failed datasets on progressively
+        simpler executors before raising only genuinely poison ones;
+        ``skip`` completes the batch and reports failed datasets in
+        :attr:`BatchResult.failures`.
         """
         resolved = self._resolve(list(datasets))
         start = time.perf_counter()
         before = self._overhead_snapshot()
+        faults_before = self._faults_snapshot()
         if not resolved:
             return BatchResult([], self.executor, self.max_workers,
                                0.0, stats=self.stats(),
                                overhead=dict.fromkeys(OVERHEAD_STAGES,
                                                       0.0))
         if self.executor == "serial":
-            items = [self._run_local(index, tensors, "serial-0")
-                     for index, tensors in enumerate(resolved)]
+            items, failures = self._map_serial(resolved)
         elif self.executor == "threads":
-            pool = self._ensure_pool()
-            futures = [pool.submit(self._run_threaded, index, tensors)
-                       for index, tensors in enumerate(resolved)]
-            items = [future.result() for future in futures]
+            items, failures = self._map_threads(resolved)
         else:
-            items = self._map_processes(resolved)
+            items, failures = self._map_processes(resolved)
+        if failures and self.on_failure == "degrade":
+            recovered, failures = self._degrade(resolved, failures)
+            items.extend(recovered)
+        if failures and self.on_failure != "skip":
+            raise failures[min(failures)]
         wall = time.perf_counter() - start
         after = self._overhead_snapshot()
         overhead = {key: after[key] - before[key]
                     for key in OVERHEAD_STAGES}
+        faults_after = self._faults_snapshot()
+        faults = {key: faults_after[key] - faults_before[key]
+                  for key in FAULT_KEYS}
         return BatchResult(items, self.executor, self.max_workers,
-                           wall, stats=self.stats(), overhead=overhead)
+                           wall, stats=self.stats(), overhead=overhead,
+                           faults=faults, failures=failures)
+
+    def _map_serial(self, resolved):
+        items, failures = [], {}
+        for index, tensors in enumerate(resolved):
+            try:
+                items.append(self._run_local(index, tensors,
+                                             "serial-0"))
+            except BatchExecutionError as exc:
+                failures[index] = exc
+                if self.on_failure == "raise":
+                    break
+        return items, failures
+
+    def _map_threads(self, resolved):
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._run_threaded, index, tensors)
+                   for index, tensors in enumerate(resolved)]
+        items, failures = [], {}
+        for index, future in enumerate(futures):
+            try:
+                items.append(future.result())
+            except BatchExecutionError as exc:
+                failures[index] = exc
+        return items, failures
+
+    def _degrade_stages(self):
+        """The fallback ladder below this pool's executor."""
+        if self.executor == "processes":
+            return ("threads", "serial")
+        if self.executor == "threads":
+            return ("serial",)
+        return ()
+
+    def _degrade(self, resolved, failures):
+        """The ``degrade`` policy: re-run failed datasets on each
+        simpler executor tier in turn (processes -> threads ->
+        serial).  Environment failures recover on the way down; a
+        dataset that still fails serially is genuinely poison and
+        stays failed.  Returns ``(recovered_items, still_failed)``.
+        """
+        recovered = []
+        still = dict(failures)
+        for stage in self._degrade_stages():
+            if not still:
+                break
+            indices = sorted(still)
+            self._note_fault("degraded", len(indices))
+            if stage == "threads":
+                workers = min(len(indices), self.max_workers)
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        index: pool.submit(self._run_local, index,
+                                           resolved[index],
+                                           "degrade-threads")
+                        for index in indices}
+                    for index, future in futures.items():
+                        try:
+                            recovered.append(future.result())
+                            del still[index]
+                        except BatchExecutionError as exc:
+                            still[index] = exc
+            else:
+                for index in indices:
+                    try:
+                        recovered.append(self._run_local(
+                            index, resolved[index], "degrade-serial"))
+                        del still[index]
+                    except BatchExecutionError as exc:
+                        still[index] = exc
+        return recovered, still
 
     def _output_buffer_ids(self, tensors):
         """Identity set of this dataset's output buffers (arrays and
@@ -500,9 +676,11 @@ class KernelPool:
         arguments as shm descriptors (staging anything not
         arena-resident).  Transport: seal the staging segment (one
         copy in), and after the run copy staged output regions back.
-        Execute: the pool's chunked dispatch.  Collect: restore
-        builder outputs, snapshot, and assemble items.  The staging
-        segment is unlinked on every path.
+        Execute: the pool's chunked dispatch, under this pool's
+        deadline/retry settings.  Collect: restore builder outputs,
+        snapshot, and assemble items.  Returns ``(items, failures)``
+        — policy handling (raise/degrade/skip) is :meth:`map`'s job.
+        The staging segment is unlinked on every path.
         """
         spec = self._ensure_spec()
         digest = self._ensure_spec_digest()
@@ -535,25 +713,33 @@ class KernelPool:
             staging_name = staging.seal()
             t2 = time.perf_counter()
             pool.add_shm_bytes(staging.nbytes() + resident_bytes)
-            results, failures = pool.run(spec, digest, tasks,
-                                         staging_name)
+            results, pool_failures, faults = pool.run(
+                spec, digest, tasks, staging_name,
+                deadline_s=self.deadline_s,
+                max_retries=self.max_retries,
+                fail_fast=(self.on_failure == "raise"))
+            self._merge_faults(faults)
             t3 = time.perf_counter()
-            if failures:
-                index, exc = min(failures, key=lambda pair: pair[0])
-                raise self._wrap_failure(index, exc,
-                                         resolved[index]) from exc
             staging.writeback({item["index"] for item in results})
             t4 = time.perf_counter()
             by_index = {item["index"]: item for item in results}
+            failures = {
+                index: self._wrap_failure(index, exc, resolved[index])
+                for index, exc in pool_failures}
             items = []
             for index, tensors in enumerate(resolved):
-                try:
-                    entry = by_index[index]
-                except KeyError:  # pragma: no cover - pool protocol
-                    raise self._wrap_failure(
-                        index,
-                        RuntimeError("no result for dataset"),
-                        tensors)
+                entry = by_index.get(index)
+                if entry is None:
+                    # Failed permanently, or never dispatched because
+                    # fail_fast stopped the batch after its first
+                    # failure.  Neither a result nor any failure is a
+                    # pool protocol violation.
+                    if not failures:  # pragma: no cover
+                        failures[index] = self._wrap_failure(
+                            index,
+                            RuntimeError("no result for dataset"),
+                            tensors)
+                    continue
                 for position, state in entry["obj_updates"].items():
                     tasks[index]["objs"][position].__dict__.update(
                         state)
@@ -573,11 +759,12 @@ class KernelPool:
             transport_s=(t2 - t1) + (t4 - t3),
             execute_s=sum(item["seconds"] for item in results),
             collect_s=t5 - t4)
-        return items
+        return items, failures
 
 
 def run_batch(program, datasets, executor="serial", max_workers=None,
-              instrument=False, opt_level=None, cache=True):
+              instrument=False, opt_level=None, cache=True,
+              on_failure="raise", max_retries=None, deadline_s=None):
     """Compile ``program`` once and map it over ``datasets``.
 
     ``datasets`` is a sequence where each element is either a name ->
@@ -590,6 +777,13 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     :func:`~repro.exec.pool.default_pool`, which stays hot between
     calls).
 
+    Fault tolerance: ``on_failure`` picks the policy for failing
+    datasets (:data:`ON_FAILURE` — raise / degrade / skip),
+    ``max_retries`` bounds transient-failure retries per dataset
+    (default :data:`DEFAULT_MAX_RETRIES`), and ``deadline_s`` pins the
+    processes executor's watchdog deadline (default: derived from the
+    measured chunk cost).
+
     Returns a :class:`BatchResult` whose per-dataset output snapshots
     and instrumented op counts are identical across executors.  For a
     standing service that maps many batches through one kernel, build
@@ -598,5 +792,7 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     kernel = compile_kernel(program, instrument=instrument,
                             cache=cache, opt_level=opt_level)
     with KernelPool(kernel, executor=executor,
-                    max_workers=max_workers) as pool:
+                    max_workers=max_workers, on_failure=on_failure,
+                    max_retries=max_retries,
+                    deadline_s=deadline_s) as pool:
         return pool.map(datasets)

@@ -31,13 +31,34 @@ chunked scheduling
     so every worker gets something to do.
 
 self-healing
-    each worker publishes the dataset index it is executing in a
-    shared progress array; when a worker dies hard the pool reads the
-    array to attribute the crash to the right dataset (surfaced as a
+    each worker publishes the dataset index it is executing *and a
+    heartbeat timestamp* in a shared progress array; when a worker
+    dies hard the pool reads the array to attribute the crash to the
+    right dataset (surfaced as a
     :class:`~repro.util.errors.WorkerCrashError`, wrapped in
     ``BatchExecutionError`` by the batch layer) and respawns the
     worker immediately, so the next ``run_batch`` call sees a full
     fleet.
+
+watchdog deadlines
+    a worker whose heartbeat stops advancing past the effective
+    per-chunk deadline is presumed wedged (deadlock, hung native
+    call): the dispatcher kills it, attributes the stall to the
+    in-flight dataset (:class:`~repro.util.errors.WorkerStallError`),
+    and respawns the slot exactly like a crash.  The deadline is
+    explicit (``deadline_s`` on the pool, :func:`configure_pool`, or
+    per ``run`` call) or derived from the chunk-cost EMA
+    (``max(5s, 50x measured per-item seconds)``); before any
+    measurement and with no explicit deadline the watchdog stays off,
+    so a cold first chunk can never be killed by a guess.
+
+retry with backoff
+    transient failures — crashes, stalls, and worker-raised
+    :class:`~repro.util.errors.TransientError`\\ s such as shm attach
+    races — are retried on a healthy worker with exponential backoff
+    plus jitter, up to ``max_retries`` per dataset.  Deterministic
+    kernel exceptions are never retried.  Datasets that merely shared
+    a chunk with the suspect are requeued without penalty.
 
 A module-level default pool (:func:`default_pool`, tuned via
 :func:`configure_pool`) is shared by every ``KernelPool`` that does
@@ -50,6 +71,7 @@ import atexit
 import multiprocessing as mp
 import os
 import pickle
+import random
 import threading
 import time
 from collections import deque
@@ -57,9 +79,20 @@ from multiprocessing import connection as mp_connection
 
 import numpy as np
 
+from repro import chaos as _chaos
 from repro.exec import shm as _shm
 from repro.exec import worker as _worker
-from repro.util.errors import WorkerCrashError
+from repro.util.errors import (WorkerCrashError, WorkerStallError,
+                               is_transient)
+
+#: Fault keys reported per ``run`` call and aggregated in ``stats()``.
+FAULT_KEYS = ("retries", "crashes", "stalls", "transient_errors",
+              "backoff_s")
+
+
+def _fresh_faults():
+    return {key: (0.0 if key == "backoff_s" else 0)
+            for key in FAULT_KEYS}
 
 #: Start methods accepted by :class:`WorkerPool` (a subset of the
 #: platform's ``multiprocessing.get_all_start_methods()``).
@@ -97,7 +130,8 @@ class WorkerPool:
     """
 
     def __init__(self, max_workers=None, start_method=None,
-                 chunk_target_s=0.01):
+                 chunk_target_s=0.01, deadline_s=None, max_retries=2,
+                 backoff_s=0.05):
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -109,6 +143,11 @@ class WorkerPool:
                 % (method, ", ".join(mp.get_all_start_methods())))
         self.start_method = method
         self.chunk_target_s = float(chunk_target_s)
+        #: Explicit watchdog deadline in seconds; None derives one
+        #: from the chunk-cost EMA once measurements exist.
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
         self._ctx = mp.get_context(method)
         self._lock = threading.RLock()
         self._workers = [None] * self.max_workers
@@ -121,6 +160,7 @@ class WorkerPool:
             "batches": 0, "chunks": 0, "respawns": 0,
             "specs_shipped": 0, "workers_spawned": 0,
             "pickle_bytes": 0, "shm_bytes": 0,
+            "retries": 0, "crashes": 0, "stalls": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -172,11 +212,16 @@ class WorkerPool:
             progress.close()
 
     def _ensure_progress(self):
+        # Two int64 columns per slot: the in-flight dataset index
+        # (crash/stall attribution) and a heartbeat timestamp in
+        # microseconds since the epoch (watchdog liveness).
         if self._progress is None:
-            self._progress = _shm.ShmSegment.create(8 * self.max_workers)
+            self._progress = _shm.ShmSegment.create(
+                16 * self.max_workers)
             self._progress_view = self._progress.view(
-                0, np.int64, (self.max_workers,))
-            self._progress_view[:] = -1
+                0, np.int64, (self.max_workers, 2))
+            self._progress_view[:, 0] = -1
+            self._progress_view[:, 1] = 0
 
     def _spawn(self, slot):
         self._ensure_progress()
@@ -210,6 +255,28 @@ class WorkerPool:
         self._counters["respawns"] += 1
         return self._spawn(slot)
 
+    def _discard(self, slot):
+        """Interrupt hygiene: drop a slot's worker hard, right now.
+
+        Used when the dispatch loop is unwinding on ``KeyboardInterrupt``
+        or an unexpected error with chunks still in flight — the worker
+        may be mid-kernel and cannot be drained, so it is killed and the
+        slot left empty for a lazy respawn on the next ``run``.
+        """
+        worker = self._workers[slot]
+        if worker is None:
+            return
+        self._workers[slot] = None
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5)
+        if self._progress_view is not None:
+            self._progress_view[slot] = -1
+
     # -- scheduling ----------------------------------------------------
     def _pick_chunk_size(self, n):
         """Datasets per IPC round-trip: about ``chunk_target_s`` of
@@ -226,7 +293,12 @@ class WorkerPool:
 
     def _send_chunk(self, worker, spec, digest, chunk, staging_name):
         message = {"digest": digest, "staging": staging_name,
-                   "datasets": chunk}
+                   "datasets": chunk,
+                   # The parent's chaos configuration rides along so
+                   # arming/disarming a plan reaches long-lived
+                   # workers regardless of what their environment
+                   # captured at spawn time.
+                   "chaos": _chaos.current_env()}
         shipped_spec = digest not in worker.shipped
         if shipped_spec:
             message["spec"] = spec
@@ -238,107 +310,238 @@ class WorkerPool:
             self._counters["specs_shipped"] += 1
         worker.conn.send_bytes(data)
 
-    def run(self, spec, digest, tasks, staging_name=None):
+    def _effective_deadline(self, deadline_s):
+        """The watchdog deadline for one ``run`` call, in seconds.
+
+        Per-call override wins, then the pool's configured deadline,
+        then an EMA-derived guess (generous: 50x the measured
+        per-item cost, floored at 5s, so a chunk of slow-but-honest
+        datasets is never killed).  Returns None — watchdog off —
+        when nothing is configured and nothing has been measured yet,
+        and when the caller passes ``0`` explicitly.
+        """
+        if deadline_s is not None:
+            return float(deadline_s) or None
+        if self.deadline_s is not None:
+            return self.deadline_s or None
+        if self._per_item_s is not None and self._per_item_s > 0:
+            return max(5.0, 50.0 * self._per_item_s)
+        return None
+
+    def run(self, spec, digest, tasks, staging_name=None,
+            deadline_s=None, max_retries=None, fail_fast=True):
         """Map ``tasks`` (transport payloads, each carrying its
         dataset ``index``) over the warm workers under one kernel.
 
-        Returns ``(results, failures)``: worker result dicts in
-        completion order, and ``(index, exception)`` pairs for
-        datasets that failed (in-kernel exceptions and worker
-        crashes).  Dispatch stops after the first failure; staged
+        Returns ``(results, failures, faults)``: worker result dicts
+        in completion order, ``(index, exception)`` pairs for datasets
+        that failed permanently, and the call's fault counters
+        (:data:`FAULT_KEYS`).  Transient failures — crashes, stalls,
+        worker-raised :class:`TransientError`\\ s — are retried with
+        exponential backoff up to ``max_retries`` (default: the
+        pool's) before landing in ``failures``; deterministic kernel
+        exceptions land there immediately.  With ``fail_fast`` (the
+        default) dispatch stops after the first permanent failure;
+        policies that want every dataset's outcome pass False.  Staged
         write-back and error wrapping are the caller's job.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("WorkerPool is closed")
             return self._run_locked(spec, digest, list(tasks),
-                                    staging_name)
+                                    staging_name, deadline_s,
+                                    max_retries, fail_fast)
 
-    def _run_locked(self, spec, digest, tasks, staging_name):
+    def _run_locked(self, spec, digest, tasks, staging_name,
+                    deadline_s, max_retries, fail_fast):
+        faults = _fresh_faults()
         if not tasks:
-            return [], []
+            return [], [], faults
+        retries_allowed = (self.max_retries if max_retries is None
+                           else int(max_retries))
+        deadline = self._effective_deadline(deadline_s)
         self._counters["batches"] += 1
         chunk_size = self._pick_chunk_size(len(tasks))
-        chunks = deque(tasks[i:i + chunk_size]
-                       for i in range(0, len(tasks), chunk_size))
-        busy = {}  # slot -> chunk in flight
+        pending = deque(tasks[i:i + chunk_size]
+                        for i in range(0, len(tasks), chunk_size))
+        busy = {}  # slot -> (chunk, dispatch wall-clock seconds)
         results = []
+        done = set()  # dataset indices with a collected result
         failures = []
+        attempts = {}  # dataset index -> transient failures so far
         stop = False
         exec_seconds = 0.0
         executed = 0
-        while chunks or busy:
-            if not stop:
-                for slot in range(self.max_workers):
-                    if not chunks:
-                        break
-                    if slot in busy:
+
+        def requeue(chunk, suspect, exc, fault_key):
+            """Handle one transient failure: penalize the suspect
+            dataset (retry with backoff, or fail permanently past the
+            retry budget) and requeue chunk-mates whose results were
+            lost with it, unpenalized.  Returns True on permanent
+            failure."""
+            nonlocal stop
+            faults[fault_key] += 1
+            if fault_key in self._counters:
+                self._counters[fault_key] += 1
+            survivors = [task for task in chunk
+                         if task["index"] not in done
+                         and task["index"] != suspect]
+            if survivors:
+                pending.append(survivors)
+            attempts[suspect] = attempts.get(suspect, 0) + 1
+            if attempts[suspect] > retries_allowed:
+                failures.append((suspect, exc))
+                if fail_fast:
+                    stop = True
+                    pending.clear()
+                return True
+            faults["retries"] += 1
+            self._counters["retries"] += 1
+            delay = min(1.0, self.backoff_s
+                        * 2 ** (attempts[suspect] - 1))
+            delay *= 1.0 + random.random()  # jitter
+            faults["backoff_s"] += delay
+            time.sleep(delay)
+            pending.append([task for task in chunk
+                            if task["index"] == suspect])
+            return False
+
+        def attribute(slot, chunk):
+            """The dataset a dead/wedged worker was running, read from
+            the progress array and validated against the chunk it was
+            actually handed (a stale stamp from an earlier chunk must
+            not frame an innocent dataset)."""
+            suspect = int(self._progress_view[slot, 0])
+            members = {task["index"] for task in chunk}
+            if suspect not in members:
+                suspect = chunk[0]["index"]
+            return suspect
+
+        try:
+            while pending or busy:
+                if not stop:
+                    for slot in range(self.max_workers):
+                        if not pending:
+                            break
+                        if slot in busy:
+                            continue
+                        worker = (self._workers[slot]
+                                  or self._spawn(slot))
+                        chunk = pending.popleft()
+                        try:
+                            self._send_chunk(worker, spec, digest,
+                                             chunk, staging_name)
+                        except (BrokenPipeError, OSError):
+                            # Worker died between batches; put the
+                            # chunk back and retry on the respawned
+                            # process.
+                            pending.appendleft(chunk)
+                            self._respawn(slot)
+                            continue
+                        busy[slot] = (chunk, time.time())
+                if not busy:
+                    break
+                conn_of = {self._workers[slot].conn: slot
+                           for slot in busy}
+                dead_of = {self._workers[slot].process.sentinel: slot
+                           for slot in busy}
+                timeout = None
+                if deadline is not None:
+                    timeout = min(0.5, max(0.01, deadline / 4.0))
+                ready = mp_connection.wait(
+                    list(conn_of) + list(dead_of), timeout)
+                now = time.time()
+                handled = set()
+                for obj in ready:
+                    slot = conn_of.get(obj, dead_of.get(obj))
+                    if slot is None or slot in handled:
                         continue
-                    worker = self._workers[slot] or self._spawn(slot)
-                    chunk = chunks.popleft()
-                    try:
-                        self._send_chunk(worker, spec, digest, chunk,
-                                         staging_name)
-                    except (BrokenPipeError, OSError):
-                        # Worker died between batches; put the chunk
-                        # back and retry on the respawned process.
-                        chunks.appendleft(chunk)
-                        self._respawn(slot)
-                        continue
-                    busy[slot] = chunk
-            if not busy:
-                break
-            conn_of = {self._workers[slot].conn: slot for slot in busy}
-            dead_of = {self._workers[slot].process.sentinel: slot
-                       for slot in busy}
-            ready = mp_connection.wait(list(conn_of) + list(dead_of))
-            handled = set()
-            for obj in ready:
-                slot = conn_of.get(obj, dead_of.get(obj))
-                if slot is None or slot in handled:
-                    continue
-                handled.add(slot)
-                worker = self._workers[slot]
-                chunk = busy.pop(slot)
-                reply = None
-                try:
-                    if worker.conn.poll():
-                        reply = pickle.loads(worker.conn.recv_bytes())
-                except (EOFError, OSError):
+                    handled.add(slot)
+                    worker = self._workers[slot]
+                    chunk, _ = busy.pop(slot)
                     reply = None
-                if reply is None:
-                    # Hard crash mid-chunk: the progress array says
-                    # which dataset was in flight.
-                    crashed = int(self._progress_view[slot])
-                    if crashed < 0:
-                        crashed = chunk[0]["index"]
-                    worker.process.join(timeout=1)
-                    failures.append((crashed, WorkerCrashError(
-                        "pid-%d" % worker.process.pid,
-                        worker.process.exitcode, crashed)))
-                    self._respawn(slot)
-                    stop = True
-                    continue
-                results.extend(reply["results"])
-                for item in reply["results"]:
-                    exec_seconds += item["seconds"]
-                    executed += 1
-                error = reply.get("error")
-                if error is not None:
                     try:
-                        exc = pickle.loads(error["exc"])
-                    except Exception:  # pragma: no cover
-                        exc = RuntimeError("worker error")
-                    failures.append((error["index"], exc))
-                    stop = True
-            if stop:
-                chunks.clear()
+                        if worker.conn.poll():
+                            reply = pickle.loads(
+                                worker.conn.recv_bytes())
+                    except (EOFError, OSError):
+                        reply = None
+                    if reply is None:
+                        # Hard crash mid-chunk: the progress array
+                        # says which dataset was in flight.
+                        crashed = attribute(slot, chunk)
+                        worker.process.join(timeout=1)
+                        exc = WorkerCrashError(
+                            "pid-%d" % worker.process.pid,
+                            worker.process.exitcode, crashed)
+                        self._respawn(slot)
+                        requeue(chunk, crashed, exc, "crashes")
+                        continue
+                    results.extend(reply["results"])
+                    for item in reply["results"]:
+                        done.add(item["index"])
+                        exec_seconds += item["seconds"]
+                        executed += 1
+                    error = reply.get("error")
+                    if error is not None:
+                        try:
+                            exc = pickle.loads(error["exc"])
+                        except Exception:  # pragma: no cover
+                            exc = RuntimeError("worker error")
+                        index = error["index"]
+                        if is_transient(exc):
+                            requeue(chunk, index, exc,
+                                    "transient_errors")
+                        else:
+                            # Deterministic kernel exception: never
+                            # retried.  Chunk-mates the worker never
+                            # reached still get their turn (the skip
+                            # policy needs every outcome).
+                            failures.append((index, exc))
+                            survivors = [task for task in chunk
+                                         if task["index"] not in done
+                                         and task["index"] != index]
+                            if survivors and not fail_fast:
+                                pending.append(survivors)
+                            if fail_fast:
+                                stop = True
+                                pending.clear()
+                # Watchdog: a busy slot whose heartbeat (or dispatch)
+                # is older than the deadline is wedged — kill,
+                # attribute, respawn, retry.
+                if deadline is not None:
+                    for slot in list(busy):
+                        if slot in handled:
+                            continue
+                        chunk, dispatched = busy[slot]
+                        heartbeat = (
+                            float(self._progress_view[slot, 1]) / 1e6)
+                        if now - max(dispatched, heartbeat) <= deadline:
+                            continue
+                        del busy[slot]
+                        worker = self._workers[slot]
+                        stalled = attribute(slot, chunk)
+                        worker.process.kill()
+                        worker.process.join(timeout=5)
+                        exc = WorkerStallError(
+                            "pid-%d" % worker.process.pid, stalled,
+                            deadline)
+                        self._respawn(slot)
+                        requeue(chunk, stalled, exc, "stalls")
+        except BaseException:
+            # Unwinding with chunks in flight (KeyboardInterrupt, a
+            # staging error...): the workers may be mid-kernel and
+            # cannot be drained — drop them hard so nothing is
+            # orphaned, and let the next run respawn lazily.
+            for slot in list(busy):
+                self._discard(slot)
+            raise
         if executed:
             per_item = exec_seconds / executed
             self._per_item_s = (per_item if self._per_item_s is None
                                 else 0.5 * self._per_item_s
                                 + 0.5 * per_item)
-        return results, failures
+        return results, failures, faults
 
     def add_shm_bytes(self, nbytes):
         """Credit transported shared-memory payload bytes (metered by
@@ -354,6 +557,8 @@ class WorkerPool:
             out["start_method"] = self.start_method
             out["chunk_size"] = self._last_chunk_size
             out["per_item_s"] = self._per_item_s
+            out["deadline_s"] = self.deadline_s
+            out["max_retries"] = self.max_retries
             out["alive"] = sum(
                 1 for worker in self._workers
                 if worker is not None and worker.process.is_alive())
@@ -377,12 +582,15 @@ def default_pool():
 
 
 def configure_pool(max_workers=None, start_method=None,
-                   chunk_target_s=None):
+                   chunk_target_s=None, deadline_s=None,
+                   max_retries=None, backoff_s=None):
     """Replace the default pool with one of the given shape.
 
     Closes the current default (its warm state is dropped) and returns
     the new pool.  ``chunk_target_s`` tunes how much measured work one
-    IPC round-trip should carry.
+    IPC round-trip should carry; ``deadline_s`` pins the watchdog
+    deadline (instead of the EMA-derived default), ``max_retries`` and
+    ``backoff_s`` tune the transient-failure retry policy.
     """
     global _default_pool
     with _default_lock:
@@ -391,6 +599,12 @@ def configure_pool(max_workers=None, start_method=None,
         kwargs = {}
         if chunk_target_s is not None:
             kwargs["chunk_target_s"] = chunk_target_s
+        if deadline_s is not None:
+            kwargs["deadline_s"] = deadline_s
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
+        if backoff_s is not None:
+            kwargs["backoff_s"] = backoff_s
         _default_pool = WorkerPool(max_workers=max_workers,
                                    start_method=start_method, **kwargs)
         return _default_pool

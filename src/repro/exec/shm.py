@@ -474,6 +474,16 @@ class SegmentCache:
     def attach(self, name, pinned):
         seg = self._pinned.get(name) or self._transient.get(name)
         if seg is None:
+            if not pinned:
+                # Chaos fault point: a transient (staging) attach is
+                # the map racing the parent's unlink — raising here
+                # surfaces as a worker-side TransientError the retry
+                # policy re-stages.  Pinned attaches (progress array,
+                # arenas) are pool infrastructure and stay exempt.
+                from repro import chaos as _chaos
+
+                if _chaos.active():
+                    _chaos.inject("shm_attach_fail")
             seg = ShmSegment.attach(name)
             (self._pinned if pinned else self._transient)[name] = seg
         return seg

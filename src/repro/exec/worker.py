@@ -129,23 +129,6 @@ def run_spec_task(spec, tensors, index, output_slots):
     }
 
 
-def _maybe_crash(index):
-    """Fault injection for the pool's self-healing tests: when
-    ``FL_EXEC_CRASH_FILE`` names a file holding a dataset index, a
-    worker handed that index dies hard (``os._exit``) — the closest
-    reproducible stand-in for a segfaulting native kernel."""
-    path = os.environ.get("FL_EXEC_CRASH_FILE")
-    if not path:
-        return
-    try:
-        with open(path) as handle:
-            target = int(handle.read().strip())
-    except (OSError, ValueError):
-        return
-    if target == index:
-        os._exit(17)
-
-
 def _pickle_exception(exc):
     """The exception as pipe-safe bytes, degrading to a RuntimeError
     carrying the original type name when the instance won't pickle."""
@@ -170,8 +153,12 @@ def run_chunk(chunk, cache, mark=None):
     Returns per-dataset results (ops, seconds, rebuild/store flags,
     post-run builder state for ``obj_outputs``) plus at most one error
     record; execution stops at the first failing dataset.  Transient
-    segment attachments are always released before returning.
+    segment attachments are released on normal completion and caught
+    errors — but deliberately NOT while a ``SystemExit``/signal is
+    tearing the process down, so the in-flight index stays published
+    in the progress array for the pool's crash attribution.
     """
+    from repro import chaos as _chaos
     from repro.exec import shm as _shm
 
     digest = chunk["digest"]
@@ -194,7 +181,10 @@ def run_chunk(chunk, cache, mark=None):
             if mark is not None:
                 mark(index)
             try:
-                _maybe_crash(index)
+                if _chaos.active():
+                    _chaos.inject("worker_crash", index=index)
+                    _chaos.inject("worker_stall", index=index)
+                    _chaos.inject("slow_chunk", index=index)
                 start = time.perf_counter()
                 artifact, cached, store_hit = artifact_from_spec(spec)
                 args = _shm.build_args(payload, chunk.get("staging"),
@@ -217,10 +207,12 @@ def run_chunk(chunk, cache, mark=None):
                 args = None
     except Exception as exc:
         error = {"index": index, "exc": _pickle_exception(exc)}
-    finally:
-        if mark is not None:
-            mark(-1)
-        cache.release_transient()
+    # Not a finally: a SystemExit propagating through here must leave
+    # the in-flight mark standing so the parent can attribute the
+    # death to the right dataset.
+    if mark is not None:
+        mark(-1)
+    cache.release_transient()
     if error is not None and error["index"] is None:
         first = chunk["datasets"][0]["index"] if chunk["datasets"] else 0
         error["index"] = first
@@ -243,11 +235,16 @@ def worker_main(conn, progress_name, slot, nslots):
     progress = None
     if progress_name is not None:
         seg = cache.attach(progress_name, pinned=True)
-        progress = seg.view(0, np.int64, (nslots,))
+        progress = seg.view(0, np.int64, (nslots, 2))
 
     def mark(value):
+        # Column 0 is the in-flight dataset index (crash attribution);
+        # column 1 is a heartbeat in epoch microseconds (the watchdog
+        # treats a stale heartbeat as a wedged worker).  Wall clock,
+        # because the parent compares against its own time.time().
         if progress is not None:
-            progress[slot] = value
+            progress[slot, 0] = value
+            progress[slot, 1] = int(time.time() * 1e6)
 
     try:
         while True:
@@ -258,6 +255,11 @@ def worker_main(conn, progress_name, slot, nslots):
             message = pickle.loads(data)
             if message.get("op") == "shutdown":
                 break
+            chaos_env = message.pop("chaos", None)
+            if chaos_env is not None:
+                from repro import chaos as _chaos
+
+                _chaos.apply_env(chaos_env)
             reply = run_chunk(message, cache, mark)
             try:
                 conn.send_bytes(

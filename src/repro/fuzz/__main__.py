@@ -44,6 +44,10 @@ def _build_parser():
                         help="skip delta debugging on failures")
     parser.add_argument("--max-failures", type=int, default=5,
                         help="stop after this many divergent cases")
+    parser.add_argument("--chaos", action="store_true",
+                        help="add the batch_chaos oracle: every case "
+                             "also runs with an injected worker crash "
+                             "and must recover bit-identically")
     parser.add_argument("--replay", action="store_true",
                         help="replay the corpus instead of fuzzing")
     parser.add_argument("--inject", metavar="BUG",
@@ -95,7 +99,7 @@ def main(argv=None):
         result = run_fuzz(
             seed=args.seed, budget=args.budget, profile=args.profile,
             corpus_dir=corpus_dir, max_failures=args.max_failures,
-            shrink=not args.no_shrink, log=log)
+            shrink=not args.no_shrink, log=log, chaos=args.chaos)
     print(result.summary())
     if args.inject:
         if result.ok:

@@ -30,6 +30,13 @@ must agree bit-for-bit:
     fresh copies of the dataset under each executor; every per-dataset
     snapshot and the aggregate op count must match.
 
+``batch_chaos``
+    (``chaos=True`` only) the processes batch re-run under an armed
+    :func:`repro.chaos.chaos` plan — one injected worker crash, with a
+    retry budget.  Fault tolerance must be *invisible* in the data
+    plane: the recovered batch's snapshots and op totals must still be
+    bit-identical to the interpreter.
+
 Case data is integer-valued (see :mod:`repro.fuzz.gen`), so every
 intermediate is exact in float64 and all comparisons demand
 **bit-identical** arrays — there is no tolerance to hide a real
@@ -52,6 +59,13 @@ from repro.fuzz.gen import build_case, describe_spec, generate_spec
 ORACLES = ("interpreter", "compiled@0", "compiled@1", "compiled@2",
            "spec_roundtrip", "store_roundtrip", "batch_serial",
            "batch_threads", "batch_processes")
+
+#: The opt-in fault-injection oracle (``conform_spec(..., chaos=True)``).
+CHAOS_ORACLE = "batch_chaos"
+
+#: The chaos plan the ``batch_chaos`` oracle arms: one worker crash,
+#: anywhere in the fleet, which the retry machinery must absorb.
+CHAOS_PLAN = {"worker_crash": {"nth": 1}}
 
 #: Per-profile batch shape: (datasets per batch, workers).
 _BATCH_SHAPE = {"quick": (2, 2), "deep": (3, 3)}
@@ -194,7 +208,27 @@ def _run_batch_oracle(spec, executor, count, workers):
     return snapshots, int(result.total_ops)
 
 
-def conform_spec(spec, profile="quick"):
+def _run_chaos_oracle(spec, count, workers):
+    """The processes batch with one injected worker crash.
+
+    Returns the same (snapshots, total ops) shape as the plain batch
+    oracles plus the batch's fault ledger, so the caller can verify a
+    fault actually fired (a chaos oracle that never injects anything
+    proves nothing).
+    """
+    from repro.chaos import chaos as chaos_ctx
+
+    template_case = build_case(spec)
+    datasets = [build_case(spec).slot_tensors() for _ in range(count)]
+    with chaos_ctx(CHAOS_PLAN):
+        result = run_batch(template_case.program, datasets,
+                           executor="processes", max_workers=workers,
+                           instrument=True, max_retries=3)
+    snapshots = [item.outputs[0] for item in result]
+    return snapshots, int(result.total_ops), dict(result.faults)
+
+
+def conform_spec(spec, profile="quick", chaos=False):
     """Run every oracle over ``spec``; returns a :class:`CaseReport`.
 
     Any oracle *crash* (not just a wrong answer) is recorded as a
@@ -294,11 +328,43 @@ def conform_spec(spec, profile="quick"):
                 "op count", "%d vs %d" % (batch_ops[executors[0]],
                                           batch_ops[other])))
 
+    if chaos:
+        oracles_run.append(CHAOS_ORACLE)
+        try:
+            snapshots, total_ops, faults = _run_chaos_oracle(
+                spec, count, workers)
+        except Exception as exc:
+            divergences.append(Divergence(
+                "interpreter", CHAOS_ORACLE, "crash",
+                "%s: %s" % (type(exc).__name__, exc)))
+        else:
+            if faults.get("crashes", 0) < 1:
+                divergences.append(Divergence(
+                    "interpreter", CHAOS_ORACLE, "no fault fired",
+                    "armed %r but the ledger shows %r"
+                    % (CHAOS_PLAN, faults)))
+            if len(snapshots) != count:
+                divergences.append(Divergence(
+                    "interpreter", CHAOS_ORACLE, "dataset count",
+                    "%d datasets in, %d results out"
+                    % (count, len(snapshots))))
+            if 2 in compiled_ops \
+                    and total_ops != count * compiled_ops[2]:
+                divergences.append(Divergence(
+                    "compiled@2", CHAOS_ORACLE, "op count",
+                    "%d datasets x %d ops != %d"
+                    % (count, compiled_ops[2], total_ops)))
+            for pos, snapshot in enumerate(snapshots):
+                _compare(divergences, "interpreter", CHAOS_ORACLE,
+                         expected, snapshot,
+                         what="output[dataset %d]" % pos)
+
     return CaseReport(spec, divergences, oracles_run,
                       time.perf_counter() - start)
 
 
-def fuzz_one(seed, profile="quick"):
+def fuzz_one(seed, profile="quick", chaos=False):
     """Generate the case for ``seed`` and conform it; the one-call API
     (``fl.fuzz_one(seed)``)."""
-    return conform_spec(generate_spec(seed, profile), profile=profile)
+    return conform_spec(generate_spec(seed, profile), profile=profile,
+                        chaos=chaos)

@@ -46,25 +46,27 @@ class CampaignResult:
     """The outcome of one :func:`run_fuzz` campaign."""
 
     def __init__(self, seed, budget, profile, cases, failures,
-                 seconds):
+                 seconds, chaos=False):
         self.seed = seed
         self.budget = budget
         self.profile = profile
         self.cases = cases
         self.failures = failures
         self.seconds = seconds
+        self.chaos = chaos
 
     @property
     def ok(self):
         return not self.failures
 
     def summary(self):
+        oracle_count = len(ORACLES) + (1 if self.chaos else 0)
         lines = [
-            "fuzz campaign: seed=%d budget=%d profile=%s" % (
-                self.seed, self.budget, self.profile),
+            "fuzz campaign: seed=%d budget=%d profile=%s%s" % (
+                self.seed, self.budget, self.profile,
+                " chaos=on" if self.chaos else ""),
             "cases: %d conformed in %.1fs (%.0f oracle runs)" % (
-                self.cases, self.seconds,
-                self.cases * len(ORACLES)),
+                self.cases, self.seconds, self.cases * oracle_count),
         ]
         if self.ok:
             lines.append("result: PASS — zero divergences across all "
@@ -85,7 +87,7 @@ class CampaignResult:
 
 def run_fuzz(seed=0, budget=200, profile="quick",
              corpus_dir=corpus_mod.DEFAULT_CORPUS_DIR,
-             max_failures=5, shrink=True, log=None):
+             max_failures=5, shrink=True, log=None, chaos=False):
     """Run one campaign; returns a :class:`CampaignResult`.
 
     ``budget`` is the number of generated cases.  Divergent cases are
@@ -93,7 +95,9 @@ def run_fuzz(seed=0, budget=200, profile="quick",
     ``corpus_dir`` (set it to None to skip persistence).  The campaign
     stops early once ``max_failures`` distinct failing cases have been
     collected.  ``log`` is an optional ``print``-like callable for
-    progress output.
+    progress output.  ``chaos=True`` adds the ``batch_chaos`` oracle
+    to every case: the processes batch re-runs with an injected worker
+    crash, and recovery must still be bit-identical.
     """
     if profile not in PROFILES:
         raise ValueError("unknown profile %r (choose from %s)"
@@ -104,7 +108,7 @@ def run_fuzz(seed=0, budget=200, profile="quick",
     for step in range(budget):
         derived = case_seed(seed, step)
         spec = generate_spec(derived, profile)
-        report = conform_spec(spec, profile=profile)
+        report = conform_spec(spec, profile=profile, chaos=chaos)
         cases += 1
         if log is not None and (step + 1) % 50 == 0:
             log("  ... %d/%d cases, %d failure(s)"
@@ -123,7 +127,8 @@ def run_fuzz(seed=0, budget=200, profile="quick",
         last_failing = {"report": report}
 
         def still_fails(candidate):
-            candidate_report = conform_spec(candidate, profile=profile)
+            candidate_report = conform_spec(candidate, profile=profile,
+                                            chaos=chaos)
             if not candidate_report.ok:
                 last_failing["report"] = candidate_report
             return not candidate_report.ok
@@ -147,4 +152,4 @@ def run_fuzz(seed=0, budget=200, profile="quick",
         if len(failures) >= max_failures:
             break
     return CampaignResult(seed, budget, profile, cases, failures,
-                          time.perf_counter() - start)
+                          time.perf_counter() - start, chaos=chaos)

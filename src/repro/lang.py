@@ -43,6 +43,7 @@ from repro.cin.builders import (
     where,
     window,
 )
+from repro.chaos import chaos, fault_points
 from repro.compiler.kernel import (
     CompiledKernel,
     Kernel,
@@ -105,6 +106,7 @@ __all__ = [
     "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "ShmArena",
     "WorkerPool", "configure_pool", "default_pool", "run_batch",
     "KernelStore", "active_store", "configure_store", "load_pack",
+    "chaos", "fault_points",
     "fuzz_one", "run_fuzz",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",

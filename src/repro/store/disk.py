@@ -44,6 +44,7 @@ store directory):
 
 import hashlib
 import json
+import logging
 import os
 import shutil
 import time
@@ -53,6 +54,14 @@ from repro.cin.analyze import structural_digest
 from repro.ir.ops import registry_version
 from repro.ir.optimize import pipeline_fingerprint
 from repro.util.errors import SpecError
+
+_log = logging.getLogger("repro.store")
+
+#: Persisted statistic counters (``stats.json``).  ``stats_resets``
+#: counts the times a corrupt stats file (a process killed mid-write)
+#: was thrown away and restarted from zero.
+COUNTER_NAMES = ("hits", "misses", "writes", "evictions",
+                 "quarantined", "stats_resets")
 
 try:
     import fcntl
@@ -276,6 +285,12 @@ class KernelStore:
         self._lock_path = os.path.join(self.root, ".lock")
         self._stats_path = os.path.join(self.root, "stats.json")
         self.quarantine_dir = os.path.join(self.root, "quarantine")
+        # In-memory (per-process) degradation ledger: IO failures the
+        # store absorbed instead of raising.  Logged once, counted
+        # always, never an exception — a broken disk tier must leave
+        # the in-memory tier fully functional.
+        self._io_errors = 0
+        self._io_warned = False
 
     def __repr__(self):
         return "KernelStore(%r, max_bytes=%r)" % (self.root,
@@ -307,15 +322,41 @@ class KernelStore:
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
+    def _note_io_error(self, where, exc):
+        """Record one absorbed IO failure (warn on the first)."""
+        self._io_errors += 1
+        if not self._io_warned:
+            self._io_warned = True
+            _log.warning(
+                "kernel store %s degraded (%s: %s); continuing "
+                "memory-only — further IO errors counted silently",
+                self.root, where, exc)
+
     def _read_counters(self):
+        """The persisted counters, tolerant of a corrupt stats file.
+
+        A ``stats.json`` left half-written by a killed process (or
+        holding valid JSON of the wrong shape) must never crash store
+        use: it reads as empty stats with ``stats_resets`` bumped, and
+        the next ``_bump`` persists the reset.
+        """
         try:
-            with open(self._stats_path) as handle:
-                counters = json.load(handle)
-        except (OSError, ValueError):
-            counters = {}
-        return {name: int(counters.get(name, 0))
-                for name in ("hits", "misses", "writes", "evictions",
-                             "quarantined")}
+            # Bytes, not text: undecodable garbage must land in the
+            # tolerant parse below, not raise out of the read.
+            with open(self._stats_path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return dict.fromkeys(COUNTER_NAMES, 0)  # no stats yet
+        try:
+            counters = json.loads(raw)
+            if not isinstance(counters, dict):
+                raise ValueError("stats.json is not an object")
+            return {name: int(counters.get(name, 0))
+                    for name in COUNTER_NAMES}
+        except (ValueError, TypeError):
+            reset = dict.fromkeys(COUNTER_NAMES, 0)
+            reset["stats_resets"] = 1
+            return reset
 
     def _bump(self, **deltas):
         """Atomically increment the persisted counters (under lock).
@@ -332,8 +373,8 @@ class KernelStore:
                 with open(tmp, "w") as handle:
                     json.dump(counters, handle)
                 os.replace(tmp, self._stats_path)
-        except OSError:
-            pass
+        except OSError as exc:
+            self._note_io_error("stats update", exc)
 
     # -- keys and paths ------------------------------------------------
     def key_meta(self, structural_key, instrument, name,
@@ -379,8 +420,19 @@ class KernelStore:
             self._bump(misses=1)
             return None
         try:
+            from repro import chaos as _chaos
+
+            if _chaos.active():
+                # Chaos fault points: a flaky read raises OSError (the
+                # degrade-to-miss path below), a corrupt entry garbles
+                # the text so JSON parsing rejects it (the quarantine
+                # path below).
+                _chaos.inject("store_read_error")
             with open(path) as handle:
-                entry = json.load(handle)
+                raw = handle.read()
+            if _chaos.active():
+                raw = _chaos.mangle("store_corrupt_entry", raw)
+            entry = json.loads(raw)
             if entry.get("store_version") != STORE_VERSION:
                 raise ValueError("store version mismatch")
             if entry.get("key") != meta:
@@ -459,10 +511,11 @@ class KernelStore:
                     handle.write(payload)
                 os.replace(tmp, path)
                 evicted = self._evict_locked(keep=path)
-        except OSError:
+        except OSError as exc:
             # An unwritable store (read-only fleet mount, disk full)
             # degrades to a read-only tier: the compile that wanted to
             # write behind still succeeded.
+            self._note_io_error("entry write", exc)
             return None
         self._bump(writes=1, evictions=evicted)
         return path
@@ -538,6 +591,9 @@ class KernelStore:
             "max_bytes": self.max_bytes,
             "hit_rate": (counters["hits"] / lookups) if lookups else 0.0,
             "quarantine_files": quarantined,
+            # Per-process: IO failures this store object absorbed
+            # (degraded writes, dropped counter updates).
+            "io_errors": self._io_errors,
             "root": self.root,
         })
         return counters

@@ -83,7 +83,31 @@ class SpecError(ReproError):
         super().__init__(message)
 
 
-class WorkerCrashError(ReproError):
+class TransientError(ReproError):
+    """A failure caused by the *execution environment*, not the kernel.
+
+    The fault-tolerance layer retries transient failures (with
+    exponential backoff, on a healthy worker) because re-running the
+    same dataset can succeed: the worker crashed or stalled, a
+    shared-memory attach raced a teardown, a store read hit flaky IO.
+    Deterministic kernel exceptions — the kernel itself raising on its
+    input — are *never* classified transient and are never retried.
+
+    Use :func:`is_transient` to classify an exception; custom kernels
+    may raise their own ``TransientError`` subclass to opt a failure
+    into the retry policy.
+    """
+
+
+def is_transient(exc):
+    """Whether the retry policy may re-run the dataset that raised
+    ``exc``.  Only :class:`TransientError` instances qualify — any
+    other exception is presumed deterministic and surfaces
+    immediately."""
+    return isinstance(exc, TransientError)
+
+
+class WorkerCrashError(TransientError):
     """A pool worker process died without reporting a result.
 
     Raised (wrapped in :class:`BatchExecutionError`) when a worker of
@@ -91,7 +115,8 @@ class WorkerCrashError(ReproError):
     segfault in native code, an ``os._exit``, or an OOM kill.  The
     pool reads its progress array to attribute the crash to the
     dataset that was in flight, then respawns the worker so the next
-    batch runs on a full fleet.
+    batch runs on a full fleet.  Transient: the retry policy may
+    re-run the attributed dataset on a healthy worker.
     """
 
     def __init__(self, worker, exitcode, index):
@@ -104,6 +129,49 @@ class WorkerCrashError(ReproError):
 
     def __reduce__(self):
         return (type(self), (self.worker, self.exitcode, self.index))
+
+
+class WorkerStallError(TransientError):
+    """A pool worker wedged past the watchdog deadline and was killed.
+
+    Raised (wrapped in :class:`BatchExecutionError`) when a worker of
+    :class:`repro.exec.pool.WorkerPool` stops advancing its heartbeat
+    for longer than the effective per-chunk deadline — a deadlock, an
+    unbounded loop in native code, a hung IO call.  The dispatcher
+    kills the process (SIGKILL), attributes the stall to the dataset
+    the progress array says was in flight, and respawns the slot.
+    Transient: the retry policy may re-run the dataset elsewhere.
+    """
+
+    def __init__(self, worker, index, deadline_s):
+        self.worker = worker
+        self.index = index
+        self.deadline_s = deadline_s
+        super().__init__(
+            "worker %s stalled past the %.3fs deadline while running "
+            "dataset %d (killed and respawned)"
+            % (worker, deadline_s, index))
+
+    def __reduce__(self):
+        return (type(self), (self.worker, self.index, self.deadline_s))
+
+
+class ShmAttachError(TransientError):
+    """A shared-memory segment could not be attached.
+
+    Raised when a worker races segment teardown (the parent unlinked a
+    staging segment while a retry was in flight) or the attach itself
+    fails transiently.  Transient: a retry re-stages the payload.
+    """
+
+
+class StoreIOError(TransientError):
+    """A kernel-store read or write failed at the IO layer.
+
+    The store itself degrades IO failures to cache misses internally;
+    this type exists for callers that surface store IO problems into
+    the retry policy instead of swallowing them.
+    """
 
 
 class BatchExecutionError(ReproError):

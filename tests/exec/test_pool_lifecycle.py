@@ -139,31 +139,29 @@ def test_start_method_matrix(method):
     assert outputs_of(result) == pytest.approx(expected_dots(3))
 
 
-def test_worker_crash_is_attributed_and_healed(tmp_path, monkeypatch):
+def test_worker_crash_is_attributed_and_healed():
     """A worker dying mid-chunk surfaces as BatchExecutionError with
     the in-flight dataset index (cause: WorkerCrashError), the slot is
     respawned, and the next map on the same pool succeeds."""
-    crash_file = tmp_path / "crash_on"
-    crash_file.write_text("3")
-    monkeypatch.setenv("FL_EXEC_CRASH_FILE", str(crash_file))
     template = dot_program(*make_pair(0))
     kernel = fl.compile_kernel(template)
     with WorkerPool(max_workers=2) as workers:
         with KernelPool(kernel, executor="processes",
-                        worker_pool=workers) as pool:
-            with pytest.raises(BatchExecutionError) as info:
-                pool.map(dot_datasets(6))
+                        worker_pool=workers, max_retries=0) as pool:
+            with fl.chaos("worker_crash", index=3, exit_code=17):
+                with pytest.raises(BatchExecutionError) as info:
+                    pool.map(dot_datasets(6))
             assert info.value.index == 3
             cause = info.value.__cause__
             assert isinstance(cause, WorkerCrashError)
             assert cause.exitcode == 17
             assert cause.index == 3
-            # Disarm the fault and reuse the *same* pool: the dead
-            # slot must have been respawned.
-            crash_file.unlink()
+            # The fault is disarmed outside the chaos block; reuse
+            # the *same* pool: the dead slot must have been respawned.
             result = pool.map(dot_datasets(6))
             assert outputs_of(result) == pytest.approx(
                 expected_dots(6))
         stats = workers.stats()
         assert stats["respawns"] >= 1
+        assert stats["crashes"] >= 1
         assert stats["alive"] == workers.max_workers
