@@ -79,6 +79,11 @@ EFFICIENCY_GATE_WORKERS = 4
 
 SPEEDUP_GATES = [
     ("BENCH_fig1_dot", "dense_dot.speedup", 5.0, None, 0),
+    # The C backend gate: the scalar sparse merge loop — where the
+    # vectorizer cannot help and the python rows sit around 1x — must
+    # beat the interpreter by >= 1.5x once compiled to native code.
+    ("BENCH_fig1_dot", "list_x_band_dot.backends.c.speedup", 1.5,
+     None, 0),
     (
         "BENCH_fig1_dot_throughput",
         "executors.threads.speedup_vs_serial",

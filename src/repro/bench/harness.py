@@ -155,7 +155,8 @@ def _snapshot_outputs(program):
     return snaps
 
 
-def optimization_table(title, make_program, repeats=3, **compile_opts):
+def optimization_table(title, make_program, repeats=3, backends=(),
+                       **compile_opts):
     """Optimized-vs-unoptimized comparison for one program structure.
 
     ``make_program`` must build the program over *identical data* on
@@ -167,39 +168,70 @@ def optimization_table(title, make_program, repeats=3, **compile_opts):
     times, the kernel-cache statistics, the run-time speedup of the
     optimized variant, and the largest absolute output difference
     between the two.
+
+    ``backends`` adds one extra optimized variant per named backend
+    (e.g. ``("c",)``); its speedup is measured against the same
+    ``opt_level=0`` interpreter row, and the table's backend column
+    reports the *effective* backend — ``c->python`` marks a fallback,
+    so a benchmark silently measuring the interpreter is visible.
+    Payloads land under ``payload["backends"][name]``.
     """
     compile_opts.pop("opt_level", None)
-    variants = [("opt_level=0", 0), ("optimized", None)]
-    table = Table(title, ["variant", "compile (s)", "run (s)",
-                          "speedup", "cache"])
-    measured = {}
-    outputs = {}
-    for label, level in variants:
+    compile_opts.pop("backend", None)
+    variants = [("opt_level=0", 0, None), ("optimized", None, None)]
+    variants += [("optimized", None, name) for name in backends]
+    table = Table(title, ["variant", "backend", "compile (s)",
+                          "run (s)", "speedup", "cache"])
+    measured = []
+    for label, level, backend in variants:
         program = make_program()
-        kernel, compile_s, hit = timed_compile(program, opt_level=level,
-                                               **compile_opts)
+        kernel, compile_s, hit = timed_compile(
+            program, opt_level=level, backend=backend, **compile_opts)
+        effective = kernel.effective_backend
+        if backend is not None and effective != backend:
+            effective = "%s->%s" % (backend, effective)
         run_s = time_kernel(kernel, repeats=repeats)
-        measured[label] = {"compile_s": compile_s, "run_s": run_s,
-                           "cache_hit": bool(hit)}
-        outputs[label] = _snapshot_outputs(program)
-    scalar, optimized = (measured[label] for label, _ in variants)
-    boost = speedup(scalar["run_s"], optimized["run_s"])
-    max_abs_diff = 0.0
-    for left, right in zip(outputs["opt_level=0"], outputs["optimized"]):
-        if left.size:
-            max_abs_diff = max(
-                max_abs_diff,
-                float(np.max(np.abs(left.astype(float)
-                                    - right.astype(float)))))
-    table.add("opt_level=0", scalar["compile_s"], scalar["run_s"], 1.0,
-              "hit" if scalar["cache_hit"] else "miss")
-    table.add("optimized", optimized["compile_s"], optimized["run_s"],
-              boost, "hit" if optimized["cache_hit"] else "miss")
+        measured.append({
+            "label": label, "backend": backend, "effective": effective,
+            "compile_s": compile_s, "run_s": run_s,
+            "cache_hit": bool(hit),
+            "outputs": _snapshot_outputs(program),
+        })
+    scalar = measured[0]
+
+    def _diff(row):
+        worst = 0.0
+        for left, right in zip(scalar["outputs"], row["outputs"]):
+            if left.size:
+                worst = max(worst, float(np.max(np.abs(
+                    left.astype(float) - right.astype(float)))))
+        return worst
+
+    for row in measured:
+        row["speedup"] = speedup(scalar["run_s"], row["run_s"])
+        table.add(row["label"], row["effective"], row["compile_s"],
+                  row["run_s"], row["speedup"],
+                  "hit" if row["cache_hit"] else "miss")
+    optimized = measured[1]
     payload = {
         "title": title,
-        "variants": measured,
-        "speedup": boost,
-        "max_abs_diff": max_abs_diff,
+        "variants": {
+            row["label"]: {"compile_s": row["compile_s"],
+                           "run_s": row["run_s"],
+                           "cache_hit": row["cache_hit"]}
+            for row in measured[:2]},
+        "speedup": optimized["speedup"],
+        "max_abs_diff": _diff(optimized),
+        "backends": {
+            row["backend"]: {
+                "compile_s": row["compile_s"],
+                "run_s": row["run_s"],
+                "speedup": row["speedup"],
+                "effective": row["effective"],
+                "max_abs_diff": _diff(row),
+                "cache_hit": row["cache_hit"],
+            }
+            for row in measured[2:]},
         "cache": kernel_cache().stats(),
     }
     return table, payload
@@ -207,8 +239,15 @@ def optimization_table(title, make_program, repeats=3, **compile_opts):
 
 def throughput_table(title, program, datasets, executors=(
         "serial", "threads", "processes"), max_workers=None,
-        repeats=3, instrument=True, **compile_opts):
+        repeats=3, instrument=True, backend=None, **compile_opts):
     """Batched-throughput comparison across batch executors.
+
+    ``backend`` selects the kernel backend for every executor
+    (``"python"``/``"c"``; see
+    :func:`~repro.compiler.kernel.compile_kernel`); the table's
+    backend column and ``payload["backend"]`` report the *effective*
+    backend, so a C run that silently fell back to the interpreter is
+    visible in the report.
 
     Compiles ``program`` once and maps it over ``datasets`` (see
     :func:`repro.exec.run_batch` for the dataset forms) under each
@@ -236,12 +275,16 @@ def throughput_table(title, program, datasets, executors=(
     from repro.tensors.share import share_dataset
 
     kernel = compile_kernel(program, instrument=instrument,
-                            **compile_opts)
-    table = Table(title, ["executor", "workers", "seconds", "items/s",
-                          "vs serial", "efficiency", "xport (s)",
-                          "exec (s)", "ops", "faults"])
+                            backend=backend, **compile_opts)
+    effective = kernel.effective_backend
+    if backend is not None and effective != backend:
+        effective = "%s->%s" % (backend, effective)
+    table = Table(title, ["executor", "backend", "workers", "seconds",
+                          "items/s", "vs serial", "efficiency",
+                          "xport (s)", "exec (s)", "ops", "faults"])
     payload = {"title": title, "items": len(datasets),
-               "executors": {}, "identical": True}
+               "backend": effective, "executors": {},
+               "identical": True}
     baseline_name = "serial" if "serial" in executors else executors[0]
     measured = {}
     arena = ShmArena() if "processes" in executors else None
@@ -282,9 +325,9 @@ def throughput_table(title, program, datasets, executors=(
         # nonzero here flags contaminated timings.
         fault_events = sum(value for key, value in faults.items()
                            if key != "backoff_s")
-        table.add(executor, result.max_workers, result.wall_seconds,
-                  rate, boost, efficiency, transport,
-                  overhead.get("execute_s", 0.0),
+        table.add(executor, effective, result.max_workers,
+                  result.wall_seconds, rate, boost, efficiency,
+                  transport, overhead.get("execute_s", 0.0),
                   result.total_ops if instrument else "-",
                   fault_events)
         payload["executors"][executor] = {

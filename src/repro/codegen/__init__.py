@@ -1,0 +1,90 @@
+"""Native code generation backends for compiled kernels.
+
+The compiler's default backend ``exec``s emitted Python source
+(:mod:`repro.ir.emit`).  This package adds the ``"c"`` backend: the
+same optimized target AST lowered to C99 (:mod:`repro.codegen.c_emit`),
+compiled into a per-kernel shared object by the system C compiler
+(:mod:`repro.codegen.toolchain`), and called through :mod:`ctypes` —
+which releases the GIL for the duration of the call, so the batch
+engine's ``threads`` executor scales on C kernels.
+
+The backend is *best effort by design*: constructs the C emitter does
+not cover (vectorized numpy slice operations, ``missing``-valued
+expressions, output builders, buffers outside int64/float64/bool) raise
+:class:`CUnsupportedError` during compilation and the kernel falls
+back to the python backend — loudly (one log line per distinct
+reason, and a queryable ledger: :func:`fallback_events`) but
+gracefully (the compile always succeeds).  The same degradation runs
+when no C compiler is installed.
+
+Both modules here are rooted in the store's codegen fingerprint
+(:data:`repro.store.disk._CODEGEN_ROOTS`), so editing the C emitter or
+the toolchain invalidates previously stored kernels automatically.
+"""
+
+import logging
+import threading
+
+_log = logging.getLogger("repro.codegen")
+
+#: Backend names ``compile_kernel`` accepts.
+BACKENDS = ("python", "c")
+
+_FALLBACKS = []  # (kernel name, reason) in occurrence order
+_FALLBACK_SEEN = set()  # distinct reasons already logged
+_FALLBACK_LOCK = threading.Lock()
+_FALLBACK_CAP = 1024
+
+
+def note_fallback(kernel_name, reason):
+    """Record one C-backend-to-python fallback.
+
+    Every event lands in the ledger (bounded); the first occurrence of
+    each distinct reason is also logged at WARNING level, so a fleet
+    silently running interpreted kernels is visible without drowning
+    logs under one line per compile.
+    """
+    reason = str(reason)
+    with _FALLBACK_LOCK:
+        if len(_FALLBACKS) < _FALLBACK_CAP:
+            _FALLBACKS.append((kernel_name, reason))
+        if reason not in _FALLBACK_SEEN:
+            _FALLBACK_SEEN.add(reason)
+            _log.warning(
+                "kernel %r: C backend unavailable, using the python "
+                "backend (%s)", kernel_name, reason)
+
+
+def fallback_events():
+    """The ``(kernel name, reason)`` fallback ledger, oldest first."""
+    with _FALLBACK_LOCK:
+        return list(_FALLBACKS)
+
+
+def clear_fallback_events():
+    """Reset the fallback ledger (tests)."""
+    with _FALLBACK_LOCK:
+        del _FALLBACKS[:]
+        _FALLBACK_SEEN.clear()
+
+
+from repro.codegen.c_emit import CUnsupportedError, emit_c  # noqa: E402
+from repro.codegen.toolchain import (  # noqa: E402
+    ToolchainError,
+    compiler_path,
+    have_toolchain,
+    kernel_entry,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CUnsupportedError",
+    "ToolchainError",
+    "clear_fallback_events",
+    "compiler_path",
+    "emit_c",
+    "fallback_events",
+    "have_toolchain",
+    "kernel_entry",
+    "note_fallback",
+]

@@ -1,0 +1,245 @@
+"""Discover a C compiler, build per-kernel shared objects, load them.
+
+Discovery order: the ``FL_CC`` environment variable (a name resolved
+on ``PATH`` or an absolute path), then ``cc``, ``gcc``, ``clang``.
+The result is memoized per process; tests monkeypatch
+:func:`compiler_path` (or set ``FL_CC`` to a bogus name) to exercise
+the no-compiler degradation path.
+
+Compilation shells out — ``cc -O2 -fPIC -shared -std=c99`` — into a
+per-process scratch directory and is memoized by the source digest, so
+one process compiles each distinct kernel at most once no matter how
+many cache tiers ask.  No ``-ffast-math``-style flags are ever passed:
+the C backend's contract is bit-identity with the python backend.
+
+Loading goes through :mod:`ctypes`.  The exported symbol is
+``int64_t <name>(void **args)`` and ``ctypes`` releases the GIL for
+the duration of every foreign call, which is what lets the batch
+engine's ``threads`` executor scale on C kernels.  The returned entry
+point is a plain Python callable taking the same positional numpy
+buffers as the python backend's function; per-binding pointer arrays
+are validated once and memoized (keyed by argument identity, holding
+references so the identities stay pinned), keeping steady-state call
+overhead to one dict lookup plus the foreign call.
+"""
+
+import atexit
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+#: Compiler names probed on PATH, in order, when ``FL_CC`` is unset.
+COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+#: Flags passed to every kernel compile.  ``-lm`` trails the source so
+#: the math helpers (``rint``, ``floor``, ``fmod``) resolve at link
+#: time on toolchains that do not link libm implicitly.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-std=c99", "-fvisibility=hidden")
+
+#: Per-binding pointer arrays memoized per kernel entry (LRU).
+_BINDING_MEMO_CAP = 64
+
+
+class ToolchainError(ReproError):
+    """No usable C compiler, or a kernel failed to compile or load."""
+
+
+_lock = threading.RLock()
+_compiler = None
+_compiler_probed = False
+_build_dir = None
+_entries = {}  # source digest -> (so_path, symbol name)
+
+
+def compiler_path():
+    """Absolute path of the C compiler, or ``None`` when unavailable.
+
+    Honors ``FL_CC`` (never falling back past an explicit setting: a
+    misspelled ``FL_CC`` reads as *no toolchain*, not as a silent
+    switch to a different compiler).  Memoized; tests monkeypatch this
+    function or call :func:`reset` after changing the environment.
+    """
+    global _compiler, _compiler_probed
+    with _lock:
+        if _compiler_probed:
+            return _compiler
+        override = os.environ.get("FL_CC")
+        if override:
+            path = shutil.which(override)
+            if path is None and os.path.isabs(override) \
+                    and os.access(override, os.X_OK):
+                path = override
+            _compiler = path
+        else:
+            _compiler = next(
+                (path for path in map(shutil.which, COMPILER_CANDIDATES)
+                 if path), None)
+        _compiler_probed = True
+        return _compiler
+
+
+def have_toolchain():
+    """True when a C compiler was found (see :func:`compiler_path`)."""
+    return compiler_path() is not None
+
+
+def reset():
+    """Forget the memoized compiler probe (tests)."""
+    global _compiler, _compiler_probed
+    with _lock:
+        _compiler = None
+        _compiler_probed = False
+
+
+def _scratch_dir():
+    global _build_dir
+    with _lock:
+        if _build_dir is None:
+            _build_dir = tempfile.mkdtemp(prefix="fl-ckernels-")
+            atexit.register(shutil.rmtree, _build_dir,
+                            ignore_errors=True)
+        return _build_dir
+
+
+def source_digest(c_source):
+    """Stable content digest of one generated C source."""
+    return hashlib.sha256(c_source.encode("utf-8")).hexdigest()[:32]
+
+
+def compile_shared(c_source, name="kernel"):
+    """Compile ``c_source`` into a shared object; returns its path.
+
+    Memoized by source digest per process.  Raises
+    :class:`ToolchainError` when no compiler is available or the
+    compile fails (the compiler's stderr is carried in the message —
+    a generated kernel failing to compile is an emitter bug worth the
+    full diagnostic).
+    """
+    digest = source_digest(c_source)
+    with _lock:
+        cached = _entries.get(digest)
+        if cached is not None:
+            return cached[0]
+    cc = compiler_path()
+    if cc is None:
+        raise ToolchainError(
+            "no C compiler found (set FL_CC or install cc/gcc/clang)")
+    scratch = _scratch_dir()
+    c_path = os.path.join(scratch, "k_%s.c" % digest)
+    so_path = os.path.join(scratch, "k_%s.so" % digest)
+    with open(c_path, "w") as handle:
+        handle.write(c_source)
+    command = [cc, *CFLAGS, "-o", so_path, c_path, "-lm"]
+    proc = subprocess.run(command, capture_output=True, text=True)
+    if proc.returncode != 0 or not os.path.exists(so_path):
+        raise ToolchainError(
+            "C compile of kernel %r failed (%s exit %d):\n%s"
+            % (name, cc, proc.returncode,
+               proc.stderr.strip() or proc.stdout.strip()))
+    with _lock:
+        _entries[digest] = (so_path, name)
+    return so_path
+
+
+def load_symbol(so_path, name):
+    """The raw ``int64_t (*)(void **)`` entry from one shared object.
+
+    Raises :class:`ToolchainError` when the object cannot be loaded or
+    does not export ``name`` (a foreign ``.so`` — wrong architecture,
+    truncated store file — must degrade, not crash the compile).
+    """
+    try:
+        library = ctypes.CDLL(so_path)
+        fn = getattr(library, name)
+    except (OSError, AttributeError) as exc:
+        raise ToolchainError(
+            "cannot load kernel %r from %s: %s" % (name, so_path, exc))
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
+    return fn
+
+
+def make_entry(cfn, name, param_dtypes):
+    """Wrap a raw C entry as a Python callable over numpy buffers.
+
+    The wrapper validates each distinct argument binding once —
+    ndarray, matching dtype, C-contiguous — then memoizes its pointer
+    array keyed by argument identities.  Entries hold references to
+    their arrays, so a memoized identity can never be recycled while
+    its pointers are still served; the memo is a small LRU so retired
+    bindings release their arrays.
+    """
+    dtypes = [np.dtype(dtype) for dtype in param_dtypes]
+    count = len(dtypes)
+    array_type = ctypes.c_void_p * count
+    memo = OrderedDict()
+    memo_lock = threading.Lock()
+
+    def entry(*args):
+        key = tuple(map(id, args))
+        with memo_lock:
+            cached = memo.get(key)
+            if cached is not None:
+                memo.move_to_end(key)
+        if cached is None:
+            if len(args) != count:
+                raise ToolchainError(
+                    "kernel %r takes %d buffers, got %d"
+                    % (name, count, len(args)))
+            for position, (array, dtype) in enumerate(
+                    zip(args, dtypes)):
+                if not isinstance(array, np.ndarray):
+                    raise ToolchainError(
+                        "kernel %r argument %d is %r, not an ndarray"
+                        % (name, position, type(array).__name__))
+                if array.dtype != dtype:
+                    raise ToolchainError(
+                        "kernel %r argument %d has dtype %s, compiled "
+                        "for %s" % (name, position, array.dtype,
+                                    dtype))
+                if not array.flags["C_CONTIGUOUS"]:
+                    raise ToolchainError(
+                        "kernel %r argument %d is not C-contiguous"
+                        % (name, position))
+            pointers = array_type(
+                *[array.ctypes.data for array in args])
+            cached = (pointers, args)
+            with memo_lock:
+                memo[key] = cached
+                while len(memo) > _BINDING_MEMO_CAP:
+                    memo.popitem(last=False)
+        # The foreign call releases the GIL (plain ctypes behavior):
+        # this is what lets the threads executor scale on C kernels.
+        return int(cfn(cached[0]))
+
+    entry.__name__ = name
+    return entry
+
+
+def kernel_entry(c_source, name, param_dtypes, so_path=None):
+    """``(entry callable, so_path)`` for one generated kernel.
+
+    Prefers loading ``so_path`` (a store-persisted shared object) when
+    given; any load failure falls through to recompiling from
+    ``c_source``, so a stale or foreign ``.so`` costs one compile, not
+    a crash.  Raises :class:`ToolchainError` only when the source
+    cannot be compiled either (e.g. no toolchain).
+    """
+    if so_path is not None and os.path.exists(so_path):
+        try:
+            return (make_entry(load_symbol(so_path, name), name,
+                               param_dtypes), so_path)
+        except ToolchainError:
+            pass
+    built = compile_shared(c_source, name=name)
+    return (make_entry(load_symbol(built, name), name, param_dtypes),
+            built)

@@ -47,9 +47,12 @@ update, giving a deterministic work measure used by the benchmark
 harness alongside wall-clock time.
 """
 
+import os
 import threading
 import time
 from collections import OrderedDict
+
+import numpy as np
 
 from repro.cin.analyze import (
     buffer_alias_groups,
@@ -75,7 +78,21 @@ from repro.util.errors import BindingError, SpecError
 #: Version 2 added ``constant_loop_rewrite``: the flag changes what
 #: lowering emits, so any consumer keying artifacts by spec content
 #: (the on-disk kernel store) needs it carried in the spec itself.
-SPEC_VERSION = 2
+#: Version 3 added the backend axis: ``backend`` (the requested
+#: backend), ``c_source`` (the generated C translation unit, or None
+#: when the C emitter fell back), and ``c_param_dtypes`` (per-parameter
+#: numpy dtype names the C entry validates bindings against).  Specs
+#: stay JSON-safe: the shared object itself never rides in a spec —
+#: receivers recompile from the carried C source (or load the store's
+#: ``.so`` sibling when one is present).
+SPEC_VERSION = 3
+
+#: Backend names ``compile_kernel`` accepts: ``"python"`` ``exec``s
+#: emitted Python source, ``"c"`` compiles the same optimized target IR
+#: to a per-kernel shared object (falling back to python per kernel
+#: for constructs the C emitter does not cover, or when no C compiler
+#: is installed — see :mod:`repro.codegen`).
+BACKENDS = ("python", "c")
 
 #: The values ``compile_kernel``'s ``cache`` argument accepts: ``True``
 #: uses every configured tier (memory LRU in front of the on-disk
@@ -100,6 +117,22 @@ def _frozen(value):
     return value
 
 
+def normalize_backend(backend):
+    """Resolve a ``backend`` argument to a validated backend name.
+
+    ``None`` reads the ``FL_KERNEL_BACKEND`` environment variable
+    (default ``"python"``), so a whole process — or a whole CI job —
+    can be flipped to the C backend without touching call sites.
+    """
+    if backend is None:
+        backend = os.environ.get("FL_KERNEL_BACKEND") or "python"
+    if backend not in BACKENDS:
+        raise ValueError(
+            "backend must be one of %s; got %r"
+            % ("/".join(BACKENDS), backend))
+    return backend
+
+
 class CompiledKernel:
     """The data-independent artifact of one compilation.
 
@@ -112,13 +145,25 @@ class CompiledKernel:
     __slots__ = ("fn", "name", "source", "raw_source", "opt_level",
                  "plan", "seed_args", "seed_tensors", "signatures",
                  "alias_groups", "instrument", "compile_seconds",
-                 "structural_key", "slot_names", "constant_loop_rewrite")
+                 "structural_key", "slot_names", "constant_loop_rewrite",
+                 "backend", "c_source", "c_param_dtypes", "so_path")
 
     def __init__(self, fn, name, source, raw_source, opt_level, plan,
                  seed_args, seed_tensors, signatures, alias_groups,
                  instrument, compile_seconds, structural_key=None,
-                 slot_names=None, constant_loop_rewrite=True):
-        self.fn = fn
+                 slot_names=None, constant_loop_rewrite=True,
+                 backend="python", c_source=None, c_param_dtypes=None,
+                 c_fn=None, so_path=None):
+        # ``fn`` is the *active* entry point: the C wrapper when the C
+        # backend produced one, the exec'd Python function otherwise.
+        # Both take the same positional buffers, so every runner
+        # (Kernel.run, the batch workers) stays backend-agnostic.
+        self.fn = c_fn if c_fn is not None else fn
+        self.backend = backend
+        self.c_source = c_source
+        self.c_param_dtypes = (None if c_param_dtypes is None
+                               else list(c_param_dtypes))
+        self.so_path = so_path if c_fn is not None else None
         self.name = name
         self.source = source
         self.raw_source = raw_source
@@ -134,6 +179,14 @@ class CompiledKernel:
         self.slot_names = tuple(slot_names) if slot_names \
             else ("?",) * len(signatures)
         self.constant_loop_rewrite = bool(constant_loop_rewrite)
+
+    @property
+    def effective_backend(self):
+        """The backend actually executing: ``"c"`` only when a native
+        entry point is live in this process.  May differ from
+        :attr:`backend` (the *requested* backend) after an emitter
+        fallback or on a machine without a C toolchain."""
+        return "c" if self.so_path is not None else "python"
 
     def to_spec(self, slot_names=None):
         """The artifact as a plain, JSON-serializable dict.
@@ -182,6 +235,9 @@ class CompiledKernel:
             "name": self.name,
             "source": self.source,
             "raw_source": self.raw_source,
+            "backend": self.backend,
+            "c_source": self.c_source,
+            "c_param_dtypes": self.c_param_dtypes,
             "opt_level": self.opt_level,
             "plan": _plain(self.plan),
             "signatures": _plain(self.signatures),
@@ -194,7 +250,7 @@ class CompiledKernel:
         }
 
     @classmethod
-    def from_spec(cls, spec):
+    def from_spec(cls, spec, so_path=None):
         """Rebuild an artifact from :meth:`to_spec` output.
 
         Re-``exec``\\ s the serialized source against a fresh kernel
@@ -202,6 +258,12 @@ class CompiledKernel:
         plan/signature lists back into the tuple forms ``bind``
         compares against.  The result is rebindable to any tensors
         whose signatures match, exactly like the original.
+
+        A spec carrying C source is recompiled on load (memoized per
+        process by source digest); ``so_path`` — the kernel store's
+        persisted shared object — is tried first, and any failure
+        (missing toolchain, foreign or truncated ``.so``) degrades to
+        the python backend with a logged fallback, never an error.
         """
         version = spec.get("spec_version")
         if version != SPEC_VERSION:
@@ -212,11 +274,28 @@ class CompiledKernel:
         exec(compile(spec["source"], "<repro-kernel-spec>", "exec"),
              namespace)
         plan = _frozen(spec["plan"])
+        backend = spec.get("backend", "python")
+        c_source = spec.get("c_source")
+        c_fn = built_path = None
+        if backend == "c" and c_source:
+            import repro.codegen as codegen
+
+            try:
+                c_fn, built_path = codegen.kernel_entry(
+                    c_source, spec["name"], spec["c_param_dtypes"],
+                    so_path=so_path)
+            except codegen.ToolchainError as exc:
+                codegen.note_fallback(spec["name"], str(exc))
         return cls(
             fn=namespace[spec["name"]],
             name=spec["name"],
             source=spec["source"],
             raw_source=spec["raw_source"],
+            backend=backend,
+            c_source=c_source,
+            c_param_dtypes=spec.get("c_param_dtypes"),
+            c_fn=c_fn,
+            so_path=built_path,
             opt_level=spec["opt_level"],
             plan=plan,
             seed_args=(None,) * len(plan),
@@ -341,6 +420,29 @@ class Kernel:
     @property
     def opt_level(self):
         return self._artifact.opt_level
+
+    @property
+    def backend(self):
+        """The backend this kernel was compiled *for* (cache-key axis)."""
+        return self._artifact.backend
+
+    @property
+    def effective_backend(self):
+        """The backend actually executing; ``"python"`` after a C
+        fallback (unsupported construct or no toolchain)."""
+        return self._artifact.effective_backend
+
+    @property
+    def c_source(self):
+        """The generated C99 source, or None (python backend or
+        fallback before emission)."""
+        return self._artifact.c_source
+
+    @property
+    def so_path(self):
+        """Path of the compiled shared object, or None (python
+        backend, or C fallback before the toolchain ran)."""
+        return self._artifact.so_path
 
     @property
     def instrument(self):
@@ -522,23 +624,28 @@ class KernelCache:
 
 
 def memory_cache_key(structural_key, instrument, name,
-                     constant_loop_rewrite, opt_level):
+                     constant_loop_rewrite, opt_level,
+                     backend="python"):
     """The :data:`KERNEL_CACHE` key for one compile configuration.
 
     The single definition of the key shape, shared by
     ``compile_kernel`` and every out-of-band cache warmer
     (:func:`repro.store.pack.load_pack`) — the two must never drift,
-    or pre-warmed entries silently stop hitting.
+    or pre-warmed entries silently stop hitting.  ``backend`` is the
+    *requested* backend: a C kernel that fell back to python still
+    occupies the ``"c"`` slot, so flipping the backend can never serve
+    a stale artifact from the other axis.
     """
     return (structural_key, bool(instrument), name,
-            bool(constant_loop_rewrite), int(opt_level))
+            bool(constant_loop_rewrite), int(opt_level), str(backend))
 
 
 def artifact_cache_key(artifact):
     """:func:`memory_cache_key` of a live :class:`CompiledKernel`."""
     return memory_cache_key(
         artifact.structural_key, artifact.instrument, artifact.name,
-        artifact.constant_loop_rewrite, artifact.opt_level)
+        artifact.constant_loop_rewrite, artifact.opt_level,
+        artifact.backend)
 
 
 #: The process-wide artifact cache used by ``compile_kernel``.
@@ -552,9 +659,15 @@ def kernel_cache():
 
 def _compile_artifact(program, tensors, instrument, name,
                       constant_loop_rewrite, opt_level,
-                      structural_key=None):
+                      structural_key=None, backend="python"):
     """Lower, optimize, emit, and exec one program; package the
-    artifact."""
+    artifact.
+
+    With ``backend="c"`` the optimized target AST is additionally
+    lowered to C99 and compiled into a shared object
+    (:mod:`repro.codegen`); the python function is always built too —
+    it is the fallback entry and the reference the differential tests
+    compare against."""
     start = time.perf_counter()
     ctx = Context(instrument=instrument,
                   constant_loop_rewrite=constant_loop_rewrite)
@@ -591,6 +704,37 @@ def _compile_artifact(program, tensors, instrument, name,
         source = raw_source
     namespace = kernel_globals()
     exec(compile(source, "<repro-kernel>", "exec"), namespace)
+
+    c_source = None
+    c_param_dtypes = None
+    c_fn = None
+    so_path = None
+    if backend == "c":
+        from repro import codegen
+
+        try:
+            dtype_map = {}
+            for pname, array in ctx.bound_buffers():
+                if not isinstance(array, np.ndarray):
+                    raise codegen.CUnsupportedError(
+                        "parameter %r is %r, not an ndarray"
+                        % (pname, type(array).__name__))
+                dtype_map[pname] = str(array.dtype)
+            c_source = codegen.emit_c(func, dtype_map)
+            c_param_dtypes = [dtype_map[p] for p in func.params]
+        except codegen.CUnsupportedError as exc:
+            codegen.note_fallback(name, str(exc))
+            c_source = None
+            c_param_dtypes = None
+        if c_source is not None:
+            try:
+                c_fn, so_path = codegen.kernel_entry(
+                    c_source, name, c_param_dtypes)
+            except codegen.ToolchainError as exc:
+                # Keep the C source in the artifact: another process
+                # loading this spec may have a working toolchain.
+                codegen.note_fallback(name, str(exc))
+
     plan = ctx.binding_plan()
     # Keep first-run buffers only where rebinding can never replace
     # them (None plan entries); rebindable parameters must not pin
@@ -620,6 +764,11 @@ def _compile_artifact(program, tensors, instrument, name,
         structural_key=structural_key,
         slot_names=tuple(getattr(t, "name", "?") for t in tensors),
         constant_loop_rewrite=constant_loop_rewrite,
+        backend=backend,
+        c_source=c_source,
+        c_param_dtypes=c_param_dtypes,
+        c_fn=c_fn,
+        so_path=so_path,
     )
 
 
@@ -638,7 +787,7 @@ def _identity_pinned(tensor, signature):
 
 def compile_kernel(program, instrument=False, name="kernel",
                    constant_loop_rewrite=True, cache=True,
-                   opt_level=None):
+                   opt_level=None, backend=None):
     """Compile one CIN program into a :class:`Kernel`.
 
     With ``cache=True`` (the default) the compiled artifact is looked
@@ -659,12 +808,30 @@ def compile_kernel(program, instrument=False, name="kernel",
     and 2 — the default — adds dense-loop vectorization to numpy
     slice operations.  The level is part of the cache key, so kernels
     compiled at different levels never share an artifact.
+
+    ``backend`` selects how the optimized kernel is executed:
+    ``"python"`` (the default) ``exec``s the emitted Python source,
+    ``"c"`` additionally lowers the same optimized target AST to C99,
+    compiles it into a per-kernel shared object, and calls it through
+    :mod:`ctypes` (releasing the GIL during each call).  ``None``
+    reads the ``FL_KERNEL_BACKEND`` environment variable, defaulting
+    to ``"python"``.  Kernels the C emitter cannot express —
+    vectorized numpy slice ops, output builders, buffers outside
+    int64/float64/bool — and environments with no C compiler fall
+    back to the
+    python backend loudly but gracefully (one warning per distinct
+    reason; see :func:`repro.codegen.fallback_events`); the resulting
+    :class:`Kernel` reports the request as ``.backend`` and the
+    reality as ``.effective_backend``.  The backend joins
+    ``opt_level`` in every cache key, so the two backends never share
+    an artifact slot.
     """
     check_program(program)
     tensors = program_tensors(program)
     if opt_level is None:
         opt_level = DEFAULT_OPT_LEVEL
     opt_level = int(opt_level)
+    backend = normalize_backend(backend)
     # Identity comparison: `1 in (True, ...)` would pass by equality
     # and then silently disable every tier below.
     if not any(cache is mode for mode in CACHE_MODES):
@@ -677,7 +844,8 @@ def compile_kernel(program, instrument=False, name="kernel",
     key = None
     if use_memory:
         key = memory_cache_key(skey, instrument, name,
-                               constant_loop_rewrite, opt_level)
+                               constant_loop_rewrite, opt_level,
+                               backend)
         artifact = KERNEL_CACHE.lookup(key)
         if artifact is not None:
             return Kernel(artifact, tensors, program, from_cache=True)
@@ -692,7 +860,7 @@ def compile_kernel(program, instrument=False, name="kernel",
             artifact = store.load_artifact(store.key_meta(
                 skey, instrument=bool(instrument), name=name,
                 constant_loop_rewrite=bool(constant_loop_rewrite),
-                opt_level=opt_level))
+                opt_level=opt_level, backend=backend))
             if artifact is not None:
                 if key is not None:
                     KERNEL_CACHE.store(key, artifact)
@@ -700,7 +868,7 @@ def compile_kernel(program, instrument=False, name="kernel",
                               from_cache=True)
     artifact = _compile_artifact(program, tensors, instrument, name,
                                  constant_loop_rewrite, opt_level,
-                                 structural_key=skey)
+                                 structural_key=skey, backend=backend)
     if key is not None:
         KERNEL_CACHE.store(key, artifact)
     if store is not None:
@@ -711,13 +879,16 @@ def compile_kernel(program, instrument=False, name="kernel",
     return Kernel(artifact, tensors, program)
 
 
-def execute(program, instrument=False, cache=True, opt_level=None):
+def execute(program, instrument=False, cache=True, opt_level=None,
+            backend=None):
     """Compile and run a program once.
 
     Returns the op count when instrumented, else None.  Results land in
     the program's output tensors.  Routed through the kernel cache, so
     executing the same program structure repeatedly pays for lowering
-    only once.
+    only once.  ``backend`` selects ``"python"`` or ``"c"`` kernel
+    execution (``None`` reads ``FL_KERNEL_BACKEND``); see
+    :func:`compile_kernel` for cache-key and fallback semantics.
     """
     return compile_kernel(program, instrument=instrument, cache=cache,
-                          opt_level=opt_level).run()
+                          opt_level=opt_level, backend=backend).run()

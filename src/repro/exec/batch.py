@@ -764,7 +764,8 @@ class KernelPool:
 
 def run_batch(program, datasets, executor="serial", max_workers=None,
               instrument=False, opt_level=None, cache=True,
-              on_failure="raise", max_retries=None, deadline_s=None):
+              on_failure="raise", max_retries=None, deadline_s=None,
+              backend=None):
     """Compile ``program`` once and map it over ``datasets``.
 
     ``datasets`` is a sequence where each element is either a name ->
@@ -776,6 +777,14 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     (default: the machine's CPU count — for processes, the shared warm
     :func:`~repro.exec.pool.default_pool`, which stays hot between
     calls).
+
+    ``backend`` selects kernel execution: ``"python"`` or ``"c"``
+    (``None`` reads ``FL_KERNEL_BACKEND``; see
+    :func:`~repro.compiler.kernel.compile_kernel`).  C kernels release
+    the GIL during each call, so the ``threads`` executor actually
+    scales with them; process-pool workers rebuild C kernels from the
+    shipped spec (recompiling, or warm-starting the shared object off
+    the configured disk store).
 
     Fault tolerance: ``on_failure`` picks the policy for failing
     datasets (:data:`ON_FAILURE` — raise / degrade / skip),
@@ -790,7 +799,8 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     a :class:`KernelPool` directly and reuse it.
     """
     kernel = compile_kernel(program, instrument=instrument,
-                            cache=cache, opt_level=opt_level)
+                            cache=cache, opt_level=opt_level,
+                            backend=backend)
     with KernelPool(kernel, executor=executor,
                     max_workers=max_workers, on_failure=on_failure,
                     max_retries=max_retries,

@@ -52,7 +52,8 @@ def _spec_key(spec):
     """A hashable identity for one serialized artifact."""
     return (spec["name"], spec["source"], repr(spec["plan"]),
             spec["instrument"], spec["opt_level"],
-            spec["constant_loop_rewrite"])
+            spec["constant_loop_rewrite"],
+            spec.get("backend", "python"))
 
 
 def artifact_from_spec(spec):
@@ -81,7 +82,9 @@ def artifact_from_spec(spec):
     if artifact is None:
         artifact = CompiledKernel.from_spec(spec)
         if store is not None:
-            store.save_spec(meta, spec)
+            # Write behind the freshly compiled .so too (if any), so
+            # future worker fleets warm-start without a C compiler.
+            store.save_spec(meta, spec, so_path=artifact.so_path)
     _ARTIFACTS[key] = artifact
     while len(_ARTIFACTS) > _ARTIFACT_MEMO_CAP:
         _ARTIFACTS.popitem(last=False)

@@ -12,6 +12,16 @@ must agree bit-for-bit:
     and with vectorization.  Instrumented, so the op-count invariant
     (the optimizer never changes the measured work) is checked too.
 
+``c_backend``
+    The same program compiled with ``backend="c"``
+    (:mod:`repro.codegen`): the optimized target AST lowered to C99,
+    built into a shared object, and called through ctypes.  Cases the
+    C emitter cannot express fall back to the python backend — the
+    oracle still runs them (the fallback path must agree too) and
+    reports the effective backend in any divergence it files.  The
+    instrumented op count must equal ``compiled@2``'s: the C lowering
+    may never change the measured work.
+
 ``spec_roundtrip``
     The ``compiled@2`` artifact serialized through
     :meth:`~repro.compiler.kernel.CompiledKernel.to_spec`, rebuilt
@@ -57,8 +67,8 @@ from repro.fuzz.gen import build_case, describe_spec, generate_spec
 
 #: Oracle names, in execution order.
 ORACLES = ("interpreter", "compiled@0", "compiled@1", "compiled@2",
-           "spec_roundtrip", "store_roundtrip", "batch_serial",
-           "batch_threads", "batch_processes")
+           "c_backend", "spec_roundtrip", "store_roundtrip",
+           "batch_serial", "batch_threads", "batch_processes")
 
 #: The opt-in fault-injection oracle (``conform_spec(..., chaos=True)``).
 CHAOS_ORACLE = "batch_chaos"
@@ -150,6 +160,20 @@ def _run_compiled(spec, opt_level):
                             opt_level=opt_level)
     n_ops = kernel.run()
     return case.output_array(), int(n_ops)
+
+
+def _run_c_backend(spec):
+    """(output, op count, effective backend) of a ``backend="c"`` run.
+
+    The effective backend says whether the case actually exercised the
+    C path or fell back to python (both must be bit-identical to the
+    interpreter, but a campaign summary wants to know its C coverage).
+    """
+    case = build_case(spec)
+    kernel = compile_kernel(case.program, instrument=True, opt_level=2,
+                            backend="c")
+    n_ops = kernel.run()
+    return case.output_array(), int(n_ops), kernel.effective_backend
 
 
 def _run_spec_roundtrip(spec):
@@ -263,6 +287,20 @@ def conform_spec(spec, profile="quick", chaos=False):
             divergences.append(Divergence(
                 "compiled@0", "compiled@%d" % level, "op count",
                 "%d vs %d" % (compiled_ops[0], compiled_ops[level])))
+
+    oracles_run.append("c_backend")
+    try:
+        got, n_ops, effective = _run_c_backend(spec)
+        _compare(divergences, "interpreter",
+                 "c_backend[%s]" % effective, expected, got)
+        if 2 in compiled_ops and n_ops != compiled_ops[2]:
+            divergences.append(Divergence(
+                "compiled@2", "c_backend[%s]" % effective, "op count",
+                "%d vs %d" % (compiled_ops[2], n_ops)))
+    except Exception as exc:
+        divergences.append(Divergence(
+            "interpreter", "c_backend", "crash",
+            "%s: %s" % (type(exc).__name__, exc)))
 
     oracles_run.append("spec_roundtrip")
     try:

@@ -68,6 +68,11 @@ def configure_store(path, max_bytes=None):
     environment.  Returns the active store (or None).  Overrides the
     ``FL_KERNEL_STORE`` environment variable until called again;
     :func:`reset_store_config` restores environment-driven behavior.
+
+    Kernels compiled with ``backend="c"`` store their shared object as
+    a ``.so`` sidecar next to the spec, so warm starts skip the C
+    compiler entirely; missing or stale sidecars are rebuilt from the
+    stored C source.
     """
     global _configured, _active
     if path is None:

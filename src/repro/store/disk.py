@@ -89,6 +89,9 @@ _CODEGEN_ROOTS = (
     "repro.ir.asm",
     "repro.ir.emit",
     "repro.ir.runtime",
+    "repro.codegen",
+    "repro.codegen.c_emit",
+    "repro.codegen.toolchain",
 )
 
 _FINGERPRINTS = {}  # roots tuple -> memoized digest
@@ -211,12 +214,17 @@ def codegen_fingerprint(roots=None, package_prefix=None):
 
 
 def store_key_meta(structural_key, instrument, name,
-                   constant_loop_rewrite, opt_level):
+                   constant_loop_rewrite, opt_level,
+                   backend="python"):
     """The plain-dict store key for one compile configuration.
 
     Carries every version axis the store invalidates on; two metas are
     the same entry exactly when their canonical-JSON digests match
-    (:func:`entry_digest`).
+    (:func:`entry_digest`).  ``backend`` is the *requested* backend: a
+    C-requested kernel that fell back to python still occupies the
+    ``"c"`` slot, so a later process with a working toolchain or a
+    fixed emitter reads it as the same entry (and the codegen
+    fingerprint, which roots the C emitter, decides staleness).
     """
     from repro.compiler.kernel import SPEC_VERSION
 
@@ -229,6 +237,7 @@ def store_key_meta(structural_key, instrument, name,
         "name": str(name),
         "constant_loop_rewrite": bool(constant_loop_rewrite),
         "opt_level": int(opt_level),
+        "backend": str(backend),
         "registry_version": registry_version(),
         "pipeline_fingerprint": pipeline_fingerprint(),
         "codegen_fingerprint": codegen_fingerprint(),
@@ -239,7 +248,8 @@ def meta_for_artifact(artifact):
     """The store key of a live :class:`CompiledKernel`."""
     return store_key_meta(
         artifact.structural_key, artifact.instrument, artifact.name,
-        artifact.constant_loop_rewrite, artifact.opt_level)
+        artifact.constant_loop_rewrite, artifact.opt_level,
+        artifact.backend)
 
 
 def meta_for_spec(spec):
@@ -253,7 +263,7 @@ def meta_for_spec(spec):
     return store_key_meta(
         _frozen(spec["structural_key"]), spec["instrument"],
         spec["name"], spec["constant_loop_rewrite"],
-        spec["opt_level"])
+        spec["opt_level"], spec.get("backend", "python"))
 
 
 def entry_digest(meta):
@@ -378,17 +388,28 @@ class KernelStore:
 
     # -- keys and paths ------------------------------------------------
     def key_meta(self, structural_key, instrument, name,
-                 constant_loop_rewrite, opt_level):
+                 constant_loop_rewrite, opt_level, backend="python"):
         """See :func:`store_key_meta` (instance-method convenience)."""
         return store_key_meta(structural_key, instrument, name,
-                              constant_loop_rewrite, opt_level)
+                              constant_loop_rewrite, opt_level,
+                              backend)
 
     def _entry_path(self, meta):
         return os.path.join(self.root,
                             _ENTRY_PREFIX + entry_digest(meta) + ".json")
 
+    @staticmethod
+    def _so_sibling(path):
+        """The shared-object sidecar of one ``.json`` entry path."""
+        return path[:-len(".json")] + ".so"
+
     def _entry_files(self):
-        """(path, size, mtime) of every entry, oldest mtime first."""
+        """(path, size, mtime) of every entry, oldest mtime first.
+
+        ``path`` is always the ``.json`` spec; ``size`` includes the
+        ``.so`` sidecar when one exists, so eviction accounts the full
+        footprint of a C-backend entry.
+        """
         entries = []
         try:
             names = os.listdir(self.root)
@@ -403,7 +424,12 @@ class KernelStore:
                 info = os.stat(path)
             except OSError:
                 continue  # concurrently evicted
-            entries.append((path, info.st_size, info.st_mtime))
+            size = info.st_size
+            try:
+                size += os.stat(self._so_sibling(path)).st_size
+            except OSError:
+                pass  # python-backend entry: no sidecar
+            entries.append((path, size, info.st_mtime))
         entries.sort(key=lambda item: (item[2], item[0]))
         return entries
 
@@ -461,8 +487,11 @@ class KernelStore:
         spec = self.load_spec(meta)
         if spec is None:
             return None
+        so_path = self._so_sibling(self._entry_path(meta))
+        if not os.path.exists(so_path):
+            so_path = None  # python entry, or sidecar lost: recompile
         try:
-            return CompiledKernel.from_spec(spec)
+            return CompiledKernel.from_spec(spec, so_path=so_path)
         except Exception:
             self._quarantine(self._entry_path(meta))
             self._bump(hits=-1, misses=1, quarantined=1)
@@ -471,15 +500,23 @@ class KernelStore:
     def _quarantine(self, path):
         """Move a defective entry aside (never delete: it is the repro
         for whatever corrupted it)."""
+        stamp = "%d.%d" % (os.getpid(), int(time.time() * 1e6))
         try:
             os.makedirs(self.quarantine_dir, exist_ok=True)
             target = os.path.join(
                 self.quarantine_dir,
-                "%s.%d.%d" % (os.path.basename(path), os.getpid(),
-                              int(time.time() * 1e6)))
+                "%s.%s" % (os.path.basename(path), stamp))
             os.replace(path, target)
         except OSError:
             pass  # another process already moved or evicted it
+        if path.endswith(".json"):
+            sidecar = self._so_sibling(path)
+            try:
+                os.replace(sidecar, os.path.join(
+                    self.quarantine_dir,
+                    "%s.%s" % (os.path.basename(sidecar), stamp)))
+            except OSError:
+                pass  # no sidecar, or already moved
 
     # -- writes --------------------------------------------------------
     def save_artifact(self, artifact):
@@ -493,12 +530,20 @@ class KernelStore:
             spec = artifact.to_spec()
         except SpecError:
             return None
-        return self.save_spec(meta_for_artifact(artifact), spec)
+        return self.save_spec(meta_for_artifact(artifact), spec,
+                              so_path=artifact.so_path)
 
-    def save_spec(self, meta, spec):
+    def save_spec(self, meta, spec, so_path=None):
         """Persist one serialized spec under ``meta``; returns the
         entry path.  Atomic (tmp + rename) and evicts LRU entries past
-        ``max_bytes`` before releasing the lock."""
+        ``max_bytes`` before releasing the lock.
+
+        ``so_path`` (a compiled shared object) is copied next to the
+        entry as a ``.so`` sidecar — an optimization, not part of the
+        durable contract: the spec alone rebuilds the kernel (the C
+        source recompiles on load), so a lost or stale sidecar costs
+        one compile, never correctness.
+        """
         path = self._entry_path(meta)
         payload = json.dumps(
             {"store_version": STORE_VERSION, "key": meta,
@@ -509,6 +554,18 @@ class KernelStore:
                 tmp = path + ".tmp.%d" % os.getpid()
                 with open(tmp, "w") as handle:
                     handle.write(payload)
+                so_target = self._so_sibling(path)
+                if so_path is not None and os.path.exists(so_path):
+                    so_tmp = so_target + ".tmp.%d" % os.getpid()
+                    shutil.copyfile(so_path, so_tmp)
+                    os.replace(so_tmp, so_target)
+                else:
+                    # A python-backend rewrite of this slot must not
+                    # leave a stale sidecar behind.
+                    try:
+                        os.remove(so_target)
+                    except OSError:
+                        pass
                 os.replace(tmp, path)
                 evicted = self._evict_locked(keep=path)
         except OSError as exc:
@@ -538,6 +595,10 @@ class KernelStore:
                 os.remove(path)
             except OSError:
                 continue
+            try:
+                os.remove(self._so_sibling(path))
+            except OSError:
+                pass  # no sidecar
             total -= size
             evicted += 1
         return evicted
@@ -559,10 +620,11 @@ class KernelStore:
         """Drop every entry, the quarantine, and the counters."""
         with self._lock():
             for path, _, _ in self._entry_files():
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass
+                for victim in (path, self._so_sibling(path)):
+                    try:
+                        os.remove(victim)
+                    except OSError:
+                        pass
             shutil.rmtree(self.quarantine_dir, ignore_errors=True)
             try:
                 os.remove(self._stats_path)

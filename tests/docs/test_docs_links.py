@@ -1,0 +1,83 @@
+"""Dead-link check over ``docs/`` and the README.
+
+Every intra-repo markdown link — ``[text](relative/path)``,
+optionally with a ``#fragment`` — must point at a file or directory
+that exists, resolved relative to the *linking* document.  External
+links (``http(s)://``, ``mailto:``) and pure in-page fragments are
+out of scope.  CI runs this as the ``docs-check`` step, so a rename
+that orphans a doc link fails the PR that did the renaming.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__),
+                                     "..", ".."))
+
+#: ``[text](target)`` — target captured lazily so titles/fragments
+#: stay inside the match.  Images (``![alt](...)``) match too, which
+#: is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _documents():
+    docs = [os.path.join(REPO, "README.md")]
+    docs_dir = os.path.join(REPO, "docs")
+    for dirpath, _, files in os.walk(docs_dir):
+        docs.extend(os.path.join(dirpath, f)
+                    for f in sorted(files) if f.endswith(".md"))
+    return docs
+
+
+def _strip_code(text):
+    """Drop fenced code blocks and inline code spans — link syntax
+    inside them is example text, not a link."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def _links(path):
+    with open(path, encoding="utf-8") as handle:
+        text = _strip_code(handle.read())
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        yield target
+
+
+DOCS = _documents()
+
+
+def test_doc_tree_is_nonempty():
+    assert len(DOCS) >= 9           # README + the docs/ tree
+
+
+@pytest.mark.parametrize(
+    "doc", DOCS, ids=[os.path.relpath(d, REPO) for d in DOCS])
+def test_intra_repo_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(doc), path))
+        if not os.path.exists(resolved):
+            broken.append("%s -> %s (missing %s)"
+                          % (os.path.relpath(doc, REPO), target,
+                             os.path.relpath(resolved, REPO)))
+    assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+
+@pytest.mark.parametrize(
+    "doc", DOCS, ids=[os.path.relpath(d, REPO) for d in DOCS])
+def test_links_stay_inside_the_repo(doc):
+    for target in _links(doc):
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(doc), path))
+        assert resolved.startswith(REPO), (
+            "%s links outside the repo: %s" % (doc, target))

@@ -148,11 +148,21 @@ def test_noisy_metrics_are_ignored():
 
 
 def test_gate_miss_fails_and_gate_pass_passes():
-    fresh = {"dense_dot": {"speedup": 4.0}}
+    c_row = {"backends": {"c": {"speedup": 2.0}}}
+    fresh = {"dense_dot": {"speedup": 4.0}, "list_x_band_dot": c_row}
     failures = checker.check_gates("BENCH_fig1_dot", fresh)
     assert any("gate miss" in failure for failure in failures)
-    fresh = {"dense_dot": {"speedup": 400.0}}
+    fresh = {"dense_dot": {"speedup": 400.0}, "list_x_band_dot": c_row}
     assert checker.check_gates("BENCH_fig1_dot", fresh) == []
+    # The C-backend floor is a gate of its own: a silent fallback
+    # (row absent) or a slow .so must fail, not pass by omission.
+    assert any("missing" in failure for failure in checker.check_gates(
+        "BENCH_fig1_dot", {"dense_dot": {"speedup": 400.0}}))
+    slow = {"dense_dot": {"speedup": 400.0},
+            "list_x_band_dot": {"backends": {"c": {"speedup": 1.2}}}}
+    assert any("gate miss" in failure
+               for failure in checker.check_gates("BENCH_fig1_dot",
+                                                  slow))
 
 
 def test_scaling_gate_skipped_on_small_worker_pools():
