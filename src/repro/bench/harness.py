@@ -101,6 +101,27 @@ def time_kernel(kernel, repeats=3):
     return best
 
 
+def median_time_kernel(kernel, repeats=5, warmup=1):
+    """Median wall-clock seconds over ``repeats`` runs, after
+    ``warmup`` discarded runs.
+
+    The autotuner's measurement (:mod:`repro.tune`): the warmup
+    absorbs first-touch effects (allocator, caches, lazy imports on
+    the run path) and the median resists scheduler noise in both
+    directions — a winner must be *typically* faster, not
+    once-lucky-faster the way a min-of-k can be.
+    """
+    for _ in range(max(0, warmup)):
+        kernel.run()
+    times = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        kernel.run()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
 def timed_compile(program, **compile_opts):
     """Compile with wall-clock timing and cache-hit detection.
 
@@ -156,7 +177,7 @@ def _snapshot_outputs(program):
 
 
 def optimization_table(title, make_program, repeats=3, backends=(),
-                       **compile_opts):
+                       tune=None, **compile_opts):
     """Optimized-vs-unoptimized comparison for one program structure.
 
     ``make_program`` must build the program over *identical data* on
@@ -175,26 +196,40 @@ def optimization_table(title, make_program, repeats=3, backends=(),
     reports the *effective* backend — ``c->python`` marks a fallback,
     so a benchmark silently measuring the interpreter is visible.
     Payloads land under ``payload["backends"][name]``.
+
+    ``tune="apply"`` adds one final *tuned* variant compiled through
+    the autotuner winners table (:mod:`repro.tune`); its row is
+    labeled ``tuned (no table)`` when no winner is on record (it then
+    measures the default compile).  Its payload lands under
+    ``payload["tuned"]`` with ``applied`` saying whether a winner was
+    found — existing payload keys are untouched.
     """
     compile_opts.pop("opt_level", None)
     compile_opts.pop("backend", None)
-    variants = [("opt_level=0", 0, None), ("optimized", None, None)]
-    variants += [("optimized", None, name) for name in backends]
+    variants = [("opt_level=0", 0, None, "off"),
+                ("optimized", None, None, "off")]
+    variants += [("optimized", None, name, "off") for name in backends]
+    if tune == "apply":
+        variants.append(("tuned", None, None, "apply"))
     table = Table(title, ["variant", "backend", "compile (s)",
                           "run (s)", "speedup", "cache"])
     measured = []
-    for label, level, backend in variants:
+    for label, level, backend, tune_mode in variants:
         program = make_program()
         kernel, compile_s, hit = timed_compile(
-            program, opt_level=level, backend=backend, **compile_opts)
+            program, opt_level=level, backend=backend, tune=tune_mode,
+            **compile_opts)
         effective = kernel.effective_backend
         if backend is not None and effective != backend:
             effective = "%s->%s" % (backend, effective)
+        if tune_mode == "apply" and not kernel.tuned:
+            label = "tuned (no table)"
         run_s = time_kernel(kernel, repeats=repeats)
         measured.append({
             "label": label, "backend": backend, "effective": effective,
             "compile_s": compile_s, "run_s": run_s,
             "cache_hit": bool(hit),
+            "tuned": bool(kernel.tuned),
             "outputs": _snapshot_outputs(program),
         })
     scalar = measured[0]
@@ -213,6 +248,8 @@ def optimization_table(title, make_program, repeats=3, backends=(),
                   row["run_s"], row["speedup"],
                   "hit" if row["cache_hit"] else "miss")
     optimized = measured[1]
+    backend_rows = measured[2:2 + len(backends)]
+    tuned_rows = measured[2 + len(backends):]
     payload = {
         "title": title,
         "variants": {
@@ -231,15 +268,26 @@ def optimization_table(title, make_program, repeats=3, backends=(),
                 "max_abs_diff": _diff(row),
                 "cache_hit": row["cache_hit"],
             }
-            for row in measured[2:]},
+            for row in backend_rows},
         "cache": kernel_cache().stats(),
     }
+    if tuned_rows:
+        row = tuned_rows[0]
+        payload["tuned"] = {
+            "compile_s": row["compile_s"],
+            "run_s": row["run_s"],
+            "speedup": row["speedup"],
+            "applied": row["tuned"],
+            "max_abs_diff": _diff(row),
+            "cache_hit": row["cache_hit"],
+        }
     return table, payload
 
 
 def throughput_table(title, program, datasets, executors=(
         "serial", "threads", "processes"), max_workers=None,
-        repeats=3, instrument=True, backend=None, **compile_opts):
+        repeats=3, instrument=True, backend=None, tune=None,
+        **compile_opts):
     """Batched-throughput comparison across batch executors.
 
     ``backend`` selects the kernel backend for every executor
@@ -247,7 +295,9 @@ def throughput_table(title, program, datasets, executors=(
     :func:`~repro.compiler.kernel.compile_kernel`); the table's
     backend column and ``payload["backend"]`` report the *effective*
     backend, so a C run that silently fell back to the interpreter is
-    visible in the report.
+    visible in the report.  ``tune="apply"`` compiles the kernel
+    through the autotuner winners table; ``payload["tuned"]`` reports
+    whether a persisted winner was actually applied.
 
     Compiles ``program`` once and maps it over ``datasets`` (see
     :func:`repro.exec.run_batch` for the dataset forms) under each
@@ -275,7 +325,8 @@ def throughput_table(title, program, datasets, executors=(
     from repro.tensors.share import share_dataset
 
     kernel = compile_kernel(program, instrument=instrument,
-                            backend=backend, **compile_opts)
+                            backend=backend, tune=tune,
+                            **compile_opts)
     effective = kernel.effective_backend
     if backend is not None and effective != backend:
         effective = "%s->%s" % (backend, effective)
@@ -284,6 +335,7 @@ def throughput_table(title, program, datasets, executors=(
                           "xport (s)", "exec (s)", "ops", "faults"])
     payload = {"title": title, "items": len(datasets),
                "backend": effective, "executors": {},
+               "tuned": bool(kernel.tuned),
                "identical": True}
     baseline_name = "serial" if "serial" in executors else executors[0]
     measured = {}

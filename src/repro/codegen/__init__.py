@@ -22,6 +22,7 @@ Both modules here are rooted in the store's codegen fingerprint
 the toolchain invalidates previously stored kernels automatically.
 """
 
+import collections
 import logging
 import threading
 
@@ -30,24 +31,43 @@ _log = logging.getLogger("repro.codegen")
 #: Backend names ``compile_kernel`` accepts.
 BACKENDS = ("python", "c")
 
-_FALLBACKS = []  # (kernel name, reason) in occurrence order
+_FALLBACK_CAP = 1024
+#: (kernel name, reason) in occurrence order.  A bounded deque keeps
+#: the *newest* events when the cap overflows — a long-lived worker
+#: fleet must report its current degradation, not a frozen snapshot of
+#: its first thousand compiles.  Overflow is counted, never silent.
+_FALLBACKS = collections.deque(maxlen=_FALLBACK_CAP)
+_FALLBACK_DROPPED = 0  # oldest events displaced past the cap
 _FALLBACK_SEEN = set()  # distinct reasons already logged
 _FALLBACK_LOCK = threading.Lock()
-_FALLBACK_CAP = 1024
+
+
+class FallbackLog(list):
+    """The fallback ledger snapshot: a plain list of ``(kernel name,
+    reason)`` pairs plus ``dropped`` — how many older events the
+    bounded ledger displaced to stay within its cap."""
+
+    def __init__(self, events, dropped):
+        super().__init__(events)
+        self.dropped = int(dropped)
 
 
 def note_fallback(kernel_name, reason):
     """Record one C-backend-to-python fallback.
 
-    Every event lands in the ledger (bounded); the first occurrence of
-    each distinct reason is also logged at WARNING level, so a fleet
-    silently running interpreted kernels is visible without drowning
-    logs under one line per compile.
+    Every event lands in the ledger (bounded: past the cap the oldest
+    events are displaced and counted in ``fallback_events().dropped``);
+    the first occurrence of each distinct reason is also logged at
+    WARNING level, so a fleet silently running interpreted kernels is
+    visible without drowning logs under one line per compile.
     """
+    global _FALLBACK_DROPPED
     reason = str(reason)
     with _FALLBACK_LOCK:
-        if len(_FALLBACKS) < _FALLBACK_CAP:
-            _FALLBACKS.append((kernel_name, reason))
+        if (_FALLBACKS.maxlen is not None
+                and len(_FALLBACKS) == _FALLBACKS.maxlen):
+            _FALLBACK_DROPPED += 1
+        _FALLBACKS.append((kernel_name, reason))
         if reason not in _FALLBACK_SEEN:
             _FALLBACK_SEEN.add(reason)
             _log.warning(
@@ -56,15 +76,20 @@ def note_fallback(kernel_name, reason):
 
 
 def fallback_events():
-    """The ``(kernel name, reason)`` fallback ledger, oldest first."""
+    """The ``(kernel name, reason)`` fallback ledger, oldest first.
+
+    Returns a :class:`FallbackLog` — list-compatible, with a
+    ``dropped`` attribute counting events the cap displaced."""
     with _FALLBACK_LOCK:
-        return list(_FALLBACKS)
+        return FallbackLog(_FALLBACKS, _FALLBACK_DROPPED)
 
 
 def clear_fallback_events():
     """Reset the fallback ledger (tests)."""
+    global _FALLBACK_DROPPED
     with _FALLBACK_LOCK:
-        del _FALLBACKS[:]
+        _FALLBACKS.clear()
+        _FALLBACK_DROPPED = 0
         _FALLBACK_SEEN.clear()
 
 
@@ -79,6 +104,7 @@ from repro.codegen.toolchain import (  # noqa: E402
 __all__ = [
     "BACKENDS",
     "CUnsupportedError",
+    "FallbackLog",
     "ToolchainError",
     "clear_fallback_events",
     "compiler_path",

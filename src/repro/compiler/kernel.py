@@ -100,6 +100,12 @@ BACKENDS = ("python", "c")
 #: always compiles fresh and touches no cache.
 CACHE_MODES = (True, False, "memory", "disk")
 
+#: The values ``compile_kernel``'s ``tune`` argument accepts:
+#: ``"off"`` compiles the program exactly as written, ``"apply"``
+#: consults the persisted autotuner winners table (:mod:`repro.tune`)
+#: and compiles the winning schedule when one is on record.
+TUNE_MODES = ("off", "apply")
+
 
 def _plain(value):
     """``value`` with nested tuples rewritten as lists (JSON-safe)."""
@@ -131,6 +137,22 @@ def normalize_backend(backend):
             "backend must be one of %s; got %r"
             % ("/".join(BACKENDS), backend))
     return backend
+
+
+def normalize_tune(tune):
+    """Resolve a ``tune`` argument to a validated tune mode.
+
+    ``None`` reads the ``FL_KERNEL_TUNE`` environment variable
+    (default ``"off"``), so a whole process — or a whole CI job — can
+    be flipped onto the tuned schedules without touching call sites.
+    """
+    if tune is None:
+        tune = os.environ.get("FL_KERNEL_TUNE") or "off"
+    if tune not in TUNE_MODES:
+        raise ValueError(
+            "tune must be one of %s; got %r"
+            % ("/".join(TUNE_MODES), tune))
+    return tune
 
 
 class CompiledKernel:
@@ -374,12 +396,16 @@ class Kernel:
     """A compiled CIN program bound to tensors — a cheap, rebindable
     view over a shared :class:`CompiledKernel` artifact."""
 
-    def __init__(self, artifact, tensors, program, from_cache=False):
+    def __init__(self, artifact, tensors, program, from_cache=False,
+                 tuned=False):
         self._artifact = artifact
         self._tensors = list(tensors)
         self._args = artifact.bind(self._tensors)
         self.program = program
         self.from_cache = from_cache
+        #: True when the autotuner's winners table rewrote the program
+        #: (``compile_kernel(..., tune="apply")`` with a hit).
+        self.tuned = tuned
         self._output_slots = tuple(
             next(slot for slot, t in enumerate(self._tensors)
                  if t is out)
@@ -787,7 +813,7 @@ def _identity_pinned(tensor, signature):
 
 def compile_kernel(program, instrument=False, name="kernel",
                    constant_loop_rewrite=True, cache=True,
-                   opt_level=None, backend=None):
+                   opt_level=None, backend=None, tune=None):
     """Compile one CIN program into a :class:`Kernel`.
 
     With ``cache=True`` (the default) the compiled artifact is looked
@@ -825,8 +851,37 @@ def compile_kernel(program, instrument=False, name="kernel",
     reality as ``.effective_backend``.  The backend joins
     ``opt_level`` in every cache key, so the two backends never share
     an artifact slot.
+
+    ``tune="apply"`` consults the persisted autotuner winners table
+    (:mod:`repro.tune`) before compiling: a hit rewrites the program's
+    access protocols to the winning schedule and — only where the
+    caller left them ``None`` — adopts the winning ``opt_level`` and
+    ``backend``; a miss compiles the program exactly as written.  The
+    rewritten program has its own structural key, so the winning
+    variant occupies its own cache/store slot (zero extra compiles in
+    a process whose store already holds the winner's artifact).
+    ``None`` reads the ``FL_KERNEL_TUNE`` environment variable,
+    defaulting to ``"off"``.  The returned kernel reports a table hit
+    as ``.tuned``.
     """
     check_program(program)
+    tune = normalize_tune(tune)
+    tuned = False
+    if tune == "apply":
+        # Imported lazily: repro.tune compiles candidates through this
+        # module, so a top-level import would be circular.
+        from repro import tune as _tune
+
+        tuning = _tune.lookup_schedule(
+            program, constant_loop_rewrite=constant_loop_rewrite)
+        if tuning is not None:
+            program = _tune.apply_schedule(program, tuning)
+            # Explicit caller arguments always win over the table.
+            if opt_level is None:
+                opt_level = tuning.get("opt_level")
+            if backend is None:
+                backend = tuning.get("backend")
+            tuned = True
     tensors = program_tensors(program)
     if opt_level is None:
         opt_level = DEFAULT_OPT_LEVEL
@@ -848,7 +903,8 @@ def compile_kernel(program, instrument=False, name="kernel",
                                backend)
         artifact = KERNEL_CACHE.lookup(key)
         if artifact is not None:
-            return Kernel(artifact, tensors, program, from_cache=True)
+            return Kernel(artifact, tensors, program, from_cache=True,
+                          tuned=tuned)
     store = None
     if use_disk:
         # Imported lazily: repro.store rebuilds artifacts through this
@@ -865,7 +921,7 @@ def compile_kernel(program, instrument=False, name="kernel",
                 if key is not None:
                     KERNEL_CACHE.store(key, artifact)
                 return Kernel(artifact, tensors, program,
-                              from_cache=True)
+                              from_cache=True, tuned=tuned)
     artifact = _compile_artifact(program, tensors, instrument, name,
                                  constant_loop_rewrite, opt_level,
                                  structural_key=skey, backend=backend)
@@ -876,7 +932,7 @@ def compile_kernel(program, instrument=False, name="kernel",
         # kernel that cannot leave the process (SpecError) is simply
         # not persisted.
         store.save_artifact(artifact)
-    return Kernel(artifact, tensors, program)
+    return Kernel(artifact, tensors, program, tuned=tuned)
 
 
 def execute(program, instrument=False, cache=True, opt_level=None,

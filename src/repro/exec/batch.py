@@ -58,7 +58,6 @@ which behave identically everywhere.
 
 import hashlib
 import os
-import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -515,7 +514,10 @@ class KernelPool:
                 self._note_fault("transient_errors")
                 self._note_fault("retries")
                 delay = min(1.0, self.backoff_s * 2 ** (attempt - 1))
-                delay *= 1.0 + random.random()  # jitter
+                # The pool's module-private jitter RNG, never the
+                # global ``random`` stream (seed-reproducibility of
+                # interleaved fuzz/chaos campaigns).
+                delay *= 1.0 + _pool._JITTER_RNG.random()  # jitter
                 self._note_fault("backoff_s", delay)
                 time.sleep(delay)
 

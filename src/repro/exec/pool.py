@@ -100,6 +100,14 @@ START_METHODS = ("fork", "spawn", "forkserver")
 
 _PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
 
+#: Module-private RNG for retry-backoff jitter, seeded from OS entropy.
+#: Never the global ``random`` module: a retry must not perturb the
+#: module-level stream (seeded fuzz/chaos campaigns interleave with
+#: batch retries and stay reproducible), and a seeded campaign must not
+#: make fleet-wide jitter deterministic — which would defeat its
+#: thundering-herd purpose.
+_JITTER_RNG = random.Random()
+
 
 def default_start_method():
     """``fork`` where available (cheap, inherits the warm interpreter),
@@ -214,7 +222,11 @@ class WorkerPool:
     def _ensure_progress(self):
         # Two int64 columns per slot: the in-flight dataset index
         # (crash/stall attribution) and a heartbeat timestamp in
-        # microseconds since the epoch (watchdog liveness).
+        # monotonic microseconds (watchdog liveness).  Monotonic on
+        # both sides: CLOCK_MONOTONIC is system-wide on Linux, so the
+        # workers' stamps compare directly against the dispatcher's
+        # time.monotonic() and wall-clock steps (NTP, slew) can never
+        # skew the deadline math.
         if self._progress is None:
             self._progress = _shm.ShmSegment.create(
                 16 * self.max_workers)
@@ -364,7 +376,7 @@ class WorkerPool:
         chunk_size = self._pick_chunk_size(len(tasks))
         pending = deque(tasks[i:i + chunk_size]
                         for i in range(0, len(tasks), chunk_size))
-        busy = {}  # slot -> (chunk, dispatch wall-clock seconds)
+        busy = {}  # slot -> (chunk, dispatch monotonic seconds)
         results = []
         done = set()  # dataset indices with a collected result
         failures = []
@@ -399,7 +411,7 @@ class WorkerPool:
             self._counters["retries"] += 1
             delay = min(1.0, self.backoff_s
                         * 2 ** (attempts[suspect] - 1))
-            delay *= 1.0 + random.random()  # jitter
+            delay *= 1.0 + _JITTER_RNG.random()  # jitter
             faults["backoff_s"] += delay
             time.sleep(delay)
             pending.append([task for task in chunk
@@ -438,7 +450,7 @@ class WorkerPool:
                             pending.appendleft(chunk)
                             self._respawn(slot)
                             continue
-                        busy[slot] = (chunk, time.time())
+                        busy[slot] = (chunk, time.monotonic())
                 if not busy:
                     break
                 conn_of = {self._workers[slot].conn: slot
@@ -450,7 +462,7 @@ class WorkerPool:
                     timeout = min(0.5, max(0.01, deadline / 4.0))
                 ready = mp_connection.wait(
                     list(conn_of) + list(dead_of), timeout)
-                now = time.time()
+                now = time.monotonic()
                 handled = set()
                 for obj in ready:
                     slot = conn_of.get(obj, dead_of.get(obj))

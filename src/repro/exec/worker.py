@@ -242,12 +242,15 @@ def worker_main(conn, progress_name, slot, nslots):
 
     def mark(value):
         # Column 0 is the in-flight dataset index (crash attribution);
-        # column 1 is a heartbeat in epoch microseconds (the watchdog
-        # treats a stale heartbeat as a wedged worker).  Wall clock,
-        # because the parent compares against its own time.time().
+        # column 1 is a heartbeat in monotonic microseconds (the
+        # watchdog treats a stale heartbeat as a wedged worker).
+        # Monotonic, never wall clock: CLOCK_MONOTONIC is system-wide
+        # on Linux so the parent's time.monotonic() reads the same
+        # clock, and an NTP step or clock slew can neither frame a
+        # healthy worker as stalled nor blind the watchdog.
         if progress is not None:
             progress[slot, 0] = value
-            progress[slot, 1] = int(time.time() * 1e6)
+            progress[slot, 1] = int(time.monotonic() * 1e6)
 
     try:
         while True:

@@ -153,6 +153,61 @@ def _compare(divergences, left_name, right_name, left, right,
         "max|delta|=%s" % (_max_abs_delta(left_arr, right_arr),)))
 
 
+def reference_outputs(program):
+    """The reference interpreter's outputs for ``program``, as numpy
+    arrays in :func:`~repro.cin.analyze.output_tensors` order.
+
+    The trusted side of :func:`verify_candidate`, split out so a
+    caller checking many rewrites of one program (the autotuner runs
+    dozens of candidates over identical data) pays for the interpreter
+    once, not once per candidate.
+    """
+    from repro.cin.analyze import output_tensors
+
+    reference = interpret(program)
+    return [np.asarray(reference.result_for(out))
+            for out in output_tensors(program)]
+
+
+def verify_candidate(program, kernel, name="candidate", expected=None):
+    """Bit-identity check of one compiled kernel against the reference
+    interpreter — the eligibility gate of the schedule autotuner
+    (:mod:`repro.tune`): a candidate with any divergence can never
+    become a persisted winner.
+
+    ``kernel`` must be bound to ``program``'s tensors (the tuner's
+    protocol rewrite shares tensors, so the rewritten program
+    qualifies).  The interpreter runs first — it reads inputs and
+    never writes outputs — then the kernel, and every output tensor is
+    compared **bit-for-bit** (:func:`numpy.array_equal`, no
+    tolerance).  A kernel crash is a divergence too, same as in
+    :func:`conform_spec`.  ``expected`` short-circuits the interpreter
+    run with precomputed :func:`reference_outputs` (per-candidate
+    loops).  Returns a list of :class:`Divergence` (empty =
+    conformant).
+    """
+    from repro.cin.analyze import output_tensors
+
+    divergences = []
+    outputs = output_tensors(program)
+    if expected is None:
+        expected = reference_outputs(program)
+    try:
+        kernel.run()
+    except Exception as exc:
+        divergences.append(Divergence(
+            "interpreter", name, "crash",
+            "%s: %s" % (type(exc).__name__, exc)))
+        return divergences
+    for pos, (out, want) in enumerate(zip(outputs, expected)):
+        to_numpy = getattr(out, "to_numpy", None)
+        got = (np.array(to_numpy(), copy=True) if to_numpy is not None
+               else np.asarray(out.value))
+        _compare(divergences, "interpreter", name, want, got,
+                 what="output[%d]" % pos)
+    return divergences
+
+
 def _run_compiled(spec, opt_level):
     """(output array, op count) of a fresh compiled run of ``spec``."""
     case = build_case(spec)

@@ -92,6 +92,18 @@ def __getattr__(name):
         from repro.fuzz import fuzz_one, run_fuzz
 
         return {"fuzz_one": fuzz_one, "run_fuzz": run_fuzz}[name]
+    # Same story for the autotuner: it compiles candidates through
+    # compile_kernel, which this module re-exports.
+    if name in ("tune_program", "lookup_schedule", "apply_schedule"):
+        from repro.tune import (
+            apply_schedule,
+            lookup_schedule,
+            tune_program,
+        )
+
+        return {"tune_program": tune_program,
+                "lookup_schedule": lookup_schedule,
+                "apply_schedule": apply_schedule}[name]
     raise AttributeError("module %r has no attribute %r"
                          % (__name__, name))
 
@@ -108,6 +120,7 @@ __all__ = [
     "KernelStore", "active_store", "configure_store", "load_pack",
     "chaos", "fault_points",
     "fuzz_one", "run_fuzz",
+    "apply_schedule", "lookup_schedule", "tune_program",
     "RunOutput", "SparseOutput",
     "Scalar", "Tensor", "convert", "dropfills", "from_numpy",
     "share_dataset", "share_tensor", "symmetric_from_numpy",

@@ -202,8 +202,10 @@ def _cmd_stats(args):
         print("| metric | value |")
         print("| --- | --- |")
         for name in ("hits", "misses", "hit_rate", "writes",
-                     "evictions", "quarantined", "entries", "bytes"):
-            value = stats[name]
+                     "evictions", "quarantined", "entries", "bytes",
+                     "tunings", "tuning_hits", "tuning_misses",
+                     "tuning_writes"):
+            value = stats.get(name, 0)
             if name == "hit_rate":
                 value = "%.1f%%" % (100.0 * value)
             print("| %s | %s |" % (name, value))

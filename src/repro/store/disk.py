@@ -61,7 +61,8 @@ _log = logging.getLogger("repro.store")
 #: counts the times a corrupt stats file (a process killed mid-write)
 #: was thrown away and restarted from zero.
 COUNTER_NAMES = ("hits", "misses", "writes", "evictions",
-                 "quarantined", "stats_resets")
+                 "quarantined", "stats_resets",
+                 "tuning_hits", "tuning_misses", "tuning_writes")
 
 try:
     import fcntl
@@ -73,6 +74,9 @@ STORE_VERSION = 1
 
 #: Filename prefix of one store entry.
 _ENTRY_PREFIX = "k_"
+
+#: Filename prefix of one tuning record (``tunings/``).
+_TUNING_PREFIX = "t_"
 
 #: Root modules of the code generator: the lowering pipeline entry
 #: points, the target IR, and the runtime namespace emitted code
@@ -295,6 +299,7 @@ class KernelStore:
         self._lock_path = os.path.join(self.root, ".lock")
         self._stats_path = os.path.join(self.root, "stats.json")
         self.quarantine_dir = os.path.join(self.root, "quarantine")
+        self.tunings_dir = os.path.join(self.root, "tunings")
         # In-memory (per-process) degradation ledger: IO failures the
         # store absorbed instead of raising.  Logged once, counted
         # always, never an exception — a broken disk tier must leave
@@ -603,6 +608,100 @@ class KernelStore:
             evicted += 1
         return evicted
 
+    # -- tunings -------------------------------------------------------
+    # The winners table of the schedule autotuner
+    # (:mod:`repro.tune`): tiny JSON records under ``tunings/``,
+    # addressed by a protocol-erased structural digest plus the same
+    # version axes entries invalidate on.  Same durability discipline
+    # as entries — atomic tmp+rename writes under the store lock,
+    # defects quarantined (never deleted) and read as misses — but no
+    # LRU eviction: a tuning record is a few hundred bytes of
+    # *measurement*, and rerunning the search it summarizes costs far
+    # more than the bytes ever will.
+
+    def _tuning_path(self, meta):
+        return os.path.join(
+            self.tunings_dir,
+            _TUNING_PREFIX + entry_digest(meta) + ".json")
+
+    def save_tuning(self, meta, winner):
+        """Persist one tuning winner under ``meta``; returns the
+        record path (None when the store is unwritable)."""
+        path = self._tuning_path(meta)
+        payload = json.dumps(
+            {"store_version": STORE_VERSION, "key": meta,
+             "winner": winner},
+            sort_keys=True, separators=(",", ":"))
+        try:
+            with self._lock():
+                os.makedirs(self.tunings_dir, exist_ok=True)
+                tmp = path + ".tmp.%d" % os.getpid()
+                with open(tmp, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+        except OSError as exc:
+            self._note_io_error("tuning write", exc)
+            return None
+        self._bump(tuning_writes=1)
+        return path
+
+    def load_tuning(self, meta):
+        """The stored winner record for ``meta``, or None.
+
+        Exactly the entry contract: a missing record is a miss, and
+        any defect (unreadable file, bad JSON, a record whose key does
+        not match its digest) is quarantined and reads as a miss.  A
+        version-axis change (op registry, pipeline or codegen
+        fingerprint, tune layout) lands in a *different* digest, so
+        stale winners are simply never found.
+        """
+        path = self._tuning_path(meta)
+        if not os.path.exists(path):
+            self._bump(tuning_misses=1)
+            return None
+        try:
+            from repro import chaos as _chaos
+
+            if _chaos.active():
+                _chaos.inject("store_read_error")
+            with open(path) as handle:
+                raw = handle.read()
+            if _chaos.active():
+                raw = _chaos.mangle("store_corrupt_entry", raw)
+            record = json.loads(raw)
+            if record.get("store_version") != STORE_VERSION:
+                raise ValueError("store version mismatch")
+            if record.get("key") != meta:
+                raise ValueError("tuning key does not match its digest")
+            winner = record["winner"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self._bump(tuning_misses=1, quarantined=1)
+            return None
+        self._bump(tuning_hits=1)
+        return winner
+
+    def tunings(self):
+        """Parsed ``(path, key-meta, winner)`` triples of every
+        readable tuning record."""
+        listed = []
+        try:
+            names = sorted(os.listdir(self.tunings_dir))
+        except OSError:
+            return []
+        for name in names:
+            if not (name.startswith(_TUNING_PREFIX)
+                    and name.endswith(".json")):
+                continue
+            path = os.path.join(self.tunings_dir, name)
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+                listed.append((path, record["key"], record["winner"]))
+            except (OSError, ValueError, KeyError):
+                continue
+        return listed
+
     # -- inspection ----------------------------------------------------
     def entries(self):
         """Parsed ``(path, key-meta)`` pairs of every readable entry."""
@@ -626,6 +725,7 @@ class KernelStore:
                     except OSError:
                         pass
             shutil.rmtree(self.quarantine_dir, ignore_errors=True)
+            shutil.rmtree(self.tunings_dir, ignore_errors=True)
             try:
                 os.remove(self._stats_path)
             except OSError:
@@ -647,7 +747,16 @@ class KernelStore:
             quarantined = len(os.listdir(self.quarantine_dir))
         except OSError:
             pass
+        tunings = 0
+        try:
+            tunings = sum(
+                name.startswith(_TUNING_PREFIX)
+                and name.endswith(".json")
+                for name in os.listdir(self.tunings_dir))
+        except OSError:
+            pass
         counters.update({
+            "tunings": tunings,
             "entries": len(files),
             "bytes": sum(size for _, size, _ in files),
             "max_bytes": self.max_bytes,

@@ -1,0 +1,80 @@
+"""Regression tests for the bounded fallback ledger.
+
+The latent bug: the ledger was an unbounded list, so a long-lived
+worker fleet compiling many C-unsupported kernels grew it without
+limit, and the natural "fix" of truncating on read would have silently
+hidden current degradation.  The ledger is now a ``deque(maxlen=...)``
+that keeps the *newest* events and counts what it displaced on
+``fallback_events().dropped``.
+"""
+
+import collections
+
+import pytest
+
+from repro import codegen
+
+
+@pytest.fixture(autouse=True)
+def clean_ledger():
+    codegen.clear_fallback_events()
+    yield
+    codegen.clear_fallback_events()
+
+
+def fill(count, start=0):
+    for n in range(start, start + count):
+        codegen.note_fallback("k%d" % n, "reason %d" % n)
+
+
+def test_overflow_keeps_newest_and_counts_dropped(monkeypatch):
+    monkeypatch.setattr(codegen, "_FALLBACKS",
+                        collections.deque(maxlen=4))
+    monkeypatch.setattr(codegen, "_FALLBACK_DROPPED", 0)
+    monkeypatch.setattr(codegen, "_FALLBACK_SEEN", set())
+
+    fill(3)
+    events = codegen.fallback_events()
+    assert list(events) == [("k0", "reason 0"), ("k1", "reason 1"),
+                            ("k2", "reason 2")]
+    assert events.dropped == 0
+
+    fill(3, start=3)
+    events = codegen.fallback_events()
+    # Newest four survive; the two oldest were displaced and counted.
+    assert list(events) == [("k2", "reason 2"), ("k3", "reason 3"),
+                            ("k4", "reason 4"), ("k5", "reason 5")]
+    assert events.dropped == 2
+    assert len(events) == 4
+
+
+def test_snapshot_is_list_compatible():
+    fill(3)
+    events = codegen.fallback_events()
+    assert isinstance(events, list)
+    assert events[0] == ("k0", "reason 0")
+    assert events[-2:] == [("k1", "reason 1"), ("k2", "reason 2")]
+    names = [name for name, _reason in events]
+    assert names == ["k0", "k1", "k2"]
+    # The snapshot is a copy: mutating it leaves the ledger alone.
+    events.clear()
+    assert len(codegen.fallback_events()) == 3
+
+
+def test_clear_resets_dropped_counter(monkeypatch):
+    monkeypatch.setattr(codegen, "_FALLBACKS",
+                        collections.deque(maxlen=2))
+    monkeypatch.setattr(codegen, "_FALLBACK_DROPPED", 0)
+    monkeypatch.setattr(codegen, "_FALLBACK_SEEN", set())
+
+    fill(5)
+    assert codegen.fallback_events().dropped == 3
+    codegen.clear_fallback_events()
+    events = codegen.fallback_events()
+    assert list(events) == []
+    assert events.dropped == 0
+
+
+def test_production_cap_is_bounded():
+    assert codegen._FALLBACKS.maxlen == codegen._FALLBACK_CAP
+    assert codegen._FALLBACK_CAP >= 256

@@ -59,6 +59,21 @@ class TestHelpers:
         assert kernel.calls == 3
         assert elapsed >= 0.0
 
+    def test_median_time_kernel_discards_warmup(self):
+        from repro.bench.harness import median_time_kernel
+
+        class FakeKernel:
+            def __init__(self):
+                self.calls = 0
+
+            def run(self):
+                self.calls += 1
+
+        kernel = FakeKernel()
+        elapsed = median_time_kernel(kernel, repeats=5, warmup=2)
+        assert kernel.calls == 7  # 2 warmup + 5 timed
+        assert elapsed >= 0.0
+
 
 class TestWarmStartTable:
     def _programs(self):
@@ -107,3 +122,65 @@ class TestWarmStartTable:
         assert payload["cold_compiles"] == 1
         assert payload["identical"] is True
         assert store.stats()["entries"] == 1
+
+
+class TestTunedRows:
+    def _make_program(self):
+        import numpy as np
+
+        import repro.lang as fl
+
+        rng = np.random.default_rng(3)
+        a = np.zeros(64)
+        a[rng.choice(64, 7, replace=False)] = rng.random(7) + 0.1
+        b = np.zeros(64)
+        b[8:40] = rng.random(32) + 0.1
+        A = fl.from_numpy(a, ("sparse",), name="A")
+        B = fl.from_numpy(b, ("band",), name="B")
+        C = fl.Scalar(name="C")
+        i = fl.indices("i")
+        return fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+
+    def test_optimization_table_tuned_row(self, tmp_path):
+        from repro.bench.harness import optimization_table
+        from repro.compiler.kernel import kernel_cache
+        from repro.store import KernelStore, using_store
+        from repro.tune import clear_tuning_memo, tune_program
+
+        store = KernelStore(tmp_path)
+        try:
+            with using_store(store):
+                result = tune_program(
+                    self._make_program, opt_levels=(1, 2),
+                    backends=("python",), repeats=1, warmup=0)
+                assert result["persisted"]
+                table, payload = optimization_table(
+                    "tuned vs default", self._make_program,
+                    repeats=1, tune="apply")
+            assert payload["tuned"]["applied"] is True
+            assert payload["tuned"]["max_abs_diff"] == 0.0
+            assert payload["tuned"]["run_s"] >= 0.0
+            assert any(row[0] == "tuned" for row in table.rows)
+        finally:
+            kernel_cache().clear()
+            clear_tuning_memo()
+
+    def test_tuned_row_without_table_is_labeled(self, tmp_path):
+        from repro.bench.harness import optimization_table
+        from repro.compiler.kernel import kernel_cache
+        from repro.store import KernelStore, using_store
+        from repro.tune import clear_tuning_memo
+
+        try:
+            with using_store(KernelStore(tmp_path)):
+                table, payload = optimization_table(
+                    "no table yet", self._make_program,
+                    repeats=1, tune="apply")
+            # No winner on record: the row measures the default
+            # compile and says so instead of faking a tuning.
+            assert payload["tuned"]["applied"] is False
+            assert any(row[0] == "tuned (no table)"
+                       for row in table.rows)
+        finally:
+            kernel_cache().clear()
+            clear_tuning_memo()

@@ -1,0 +1,153 @@
+"""The schedule layer: extraction, rewriting, keys, enumeration.
+
+A schedule must round-trip losslessly through the one canonical
+access order, map every protocol spelling of a program onto one
+protocol-erased table address, and enumerate only *legal* candidates
+(every coiterated loop keeps a leader).
+"""
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.cin.analyze import structural_digest, structural_key
+from repro.cin.nodes import collect_accesses
+from repro.tune import (
+    apply_schedule,
+    describe_schedule,
+    enumerate_candidates,
+    extract_protocols,
+    neutral_digest,
+    tunable_sites,
+    tuning_key_meta,
+    validate_schedule,
+)
+from repro.tune.schedule import LEADER_PROTOCOLS, apply_protocols
+from repro.util.errors import ReproError
+
+
+def dot_data(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    a = np.zeros(n)
+    a[rng.choice(n, 6, replace=False)] = rng.random(6) + 0.1
+    b = np.zeros(n)
+    b[5:25] = rng.random(20) + 0.1
+    return a, b
+
+
+def dot_program(a_fmt="sparse", b_fmt="band", n=40, seed=0):
+    a, b = dot_data(n=n, seed=seed)
+    A = fl.from_numpy(a, (a_fmt,), name="A")
+    B = fl.from_numpy(b, (b_fmt,), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i])), C
+
+
+def test_protocols_round_trip():
+    program, _ = dot_program()
+    protocols = extract_protocols(program)
+    rebuilt = apply_protocols(program, protocols)
+    assert extract_protocols(rebuilt) == protocols
+    assert structural_key(rebuilt) == structural_key(program)
+    # Tensors are shared, not copied: the rewrite binds the same data.
+    assert [a.tensor for a in collect_accesses(rebuilt)] \
+        == [a.tensor for a in collect_accesses(program)]
+
+
+def test_apply_rejects_wrong_shapes():
+    program, _ = dot_program()
+    with pytest.raises(ReproError, match="access protocol entries"):
+        apply_protocols(program, [[None]])
+    with pytest.raises(ReproError, match="modes"):
+        apply_protocols(program, [[], [None, None], [None]])
+
+
+def test_neutral_digest_erases_protocol_spelling():
+    program, _ = dot_program()
+    gallop = apply_protocols(program, [[], ["gallop"], [None]])
+    # Different programs to the compiler (protocols are structural) ...
+    assert structural_digest(structural_key(gallop)) \
+        != structural_digest(structural_key(program))
+    # ... but one row in the winners table.
+    assert neutral_digest(gallop) == neutral_digest(program)
+    assert tuning_key_meta(gallop) == tuning_key_meta(program)
+    # A genuinely different program keys a different row.
+    assert neutral_digest(dot_program(a_fmt="dense")[0]) \
+        != neutral_digest(program)
+
+
+def test_tuning_key_carries_version_axes_but_no_compile_options():
+    meta = tuning_key_meta(dot_program()[0])
+    assert meta["kind"] == "tuning"
+    for axis in ("store_version", "tune_version", "registry_version",
+                 "pipeline_fingerprint", "codegen_fingerprint"):
+        assert meta[axis], axis
+    assert "opt_level" not in meta and "backend" not in meta
+
+
+def test_tunable_sites_skip_writes_and_single_protocol_formats():
+    # A is sparse_list (walk|gallop): one searchable site.  B is band
+    # (walk only) and C is the written scalar: neither is a site.
+    program, _ = dot_program()
+    assert tunable_sites(program) == [(1, 0, (None, "gallop"))]
+
+
+def test_enumerate_candidates_defaults_first_and_stays_legal():
+    # bitmap and dense both offer locate; locate-everywhere leaves the
+    # i loop without a leader and must be filtered out.
+    program, _ = dot_program(a_fmt="bitmap", b_fmt="dense")
+    candidates = enumerate_candidates(program, opt_levels=(1, 2),
+                                      backends=("python",))
+    first = candidates[0]
+    assert first["protocols"] == extract_protocols(program)
+    assert first["opt_level"] == 2 and first["backend"] == "python"
+    keys = {(tuple(map(tuple, c["protocols"])), c["opt_level"],
+             c["backend"]) for c in candidates}
+    assert len(keys) == len(candidates)  # no duplicate candidates
+    for candidate in candidates:
+        assert validate_schedule(program, candidate)
+        on_i = [entry[0] for entry in candidate["protocols"] if entry]
+        assert any(p in LEADER_PROTOCOLS for p in on_i)
+    # Both single-site locate mutations are present, just never both.
+    assert {tuple(map(tuple, c["protocols"])) for c in candidates} \
+        >= {((), ("locate",), (None,)), ((), (None,), ("locate",))}
+
+
+def test_validate_schedule_rejects_misfits():
+    program, _ = dot_program()
+    good = enumerate_candidates(program)[0]
+    assert validate_schedule(program, good)
+    assert not validate_schedule(program, None)
+    assert not validate_schedule(program, {**good, "protocols": [[]]})
+    assert not validate_schedule(
+        program, {**good, "protocols": [[], ["sprint"], [None]]})
+    assert not validate_schedule(program, {**good, "opt_level": "2"})
+    assert not validate_schedule(program, {**good, "backend": "rust"})
+    # A winner recorded for a structurally different program (here:
+    # fewer accesses) must read as a misfit, never be applied.
+    A = fl.from_numpy(dot_data()[0], ("sparse",), name="A")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    smaller = fl.forall(i, fl.increment(C[()], A[i]))
+    assert not validate_schedule(smaller, good)
+
+
+def test_describe_schedule_is_compact():
+    schedule = {"protocols": [[], ["gallop"], [None]],
+                "opt_level": 2, "backend": None}
+    assert describe_schedule(schedule) == "/gallop/- @2 python"
+
+
+def test_applied_schedule_computes_the_same_answer():
+    program, C = dot_program()
+    a, b = dot_data()
+    candidate = {"protocols": [[], ["gallop"], [None]],
+                 "opt_level": 1, "backend": "python"}
+    variant = apply_schedule(program, candidate)
+    assert extract_protocols(variant) == candidate["protocols"]
+    kernel = fl.compile_kernel(variant, opt_level=1, cache=False)
+    kernel.run()
+    # The variant shares the original tensors, so the original C holds
+    # the result: protocols change strategy, never the math.
+    assert C.value == pytest.approx(float(np.dot(a, b)))
