@@ -396,7 +396,7 @@ def throughput_table(title, program, datasets, executors=(
     return table, payload
 
 
-def warm_start_table(title, programs, store, repeats=1):
+def warm_start_table(title, programs, store, repeats=1, remote=None):
     """Cold vs warm-process compile time against a persistent store.
 
     ``programs`` is a sequence of ``(figure, label, make_program,
@@ -411,23 +411,32 @@ def warm_start_table(title, programs, store, repeats=1):
       in-memory kernel cache is cleared and the store is the only
       tier, so the compile either hits disk or pays full price.
 
+    ``remote`` (a kernel-service URL) adds a third measurement per
+    figure: the same compile with *no* local store at all — the
+    in-memory cache cleared and the active store suppressed — so the
+    service is the only tier left.  The ``remote`` column reports that
+    compile's wall time and whether it was served by the fleet
+    (``service_stats()`` deltas); without a URL the column reads "-".
+
     Both kernels are run and their outputs compared bit-for-bit (a
     disk-rebuilt kernel must be indistinguishable from a fresh one).
     Returns ``(table, payload)``; the payload carries per-figure
     times, the aggregate ``hit_rate`` over the warm compiles
     (1.0 = the warm process compiled zero kernels), ``cold_compiles``
-    (store misses seen during the warm pass), and the store's
-    cumulative stats.  CI's ``bench-regression`` gate fails when
+    (store misses seen during the warm pass), the store's cumulative
+    stats, and — when ``remote`` is set — ``remote_hit_rate`` over
+    the remote passes.  CI's ``bench-regression`` gate fails when
     ``hit_rate`` drops: a silent fall-back to cold compiles is a
     regression even when every kernel still runs fast.
     """
     from repro.store import using_store
 
     table = Table(title, ["figure", "kernel", "cold (s)", "warm (s)",
-                          "speedup", "disk", "identical"])
+                          "speedup", "disk", "remote", "identical"])
     payload = {"title": title, "figures": {}, "identical": True,
                "store_root": store.root}
     before = store.stats()
+    remote_hits = remote_lookups = 0
     for figure, label, make_program, compile_opts in programs:
         program = make_program()
         best_cold = float("inf")
@@ -452,6 +461,42 @@ def warm_start_table(title, programs, store, repeats=1):
         entry_after = store.stats()
         disk_hit = entry_after["hits"] > entry_before["hits"]
 
+        remote_cell = "-"
+        remote_info = None
+        if remote:
+            from repro.service.client import service_stats
+
+            remote_program = make_program()
+            kernel_cache().clear()
+            stats_before = service_stats()
+            # No local store: the service is the only tier left.
+            with using_store(None):
+                start = time.perf_counter()
+                remote_kernel = compile_kernel(
+                    remote_program, remote=remote, **compile_opts)
+                remote_s = time.perf_counter() - start
+            stats_after = service_stats()
+            hit = (stats_after["remote_hits"]
+                   > stats_before["remote_hits"])
+            remote_kernel.run()
+            remote_outputs = _snapshot_outputs(remote_program)
+            remote_same = (
+                len(remote_outputs) == len(cold_outputs)
+                and all(left.dtype == right.dtype
+                        and left.shape == right.shape
+                        and left.tobytes() == right.tobytes()
+                        for left, right in zip(cold_outputs,
+                                               remote_outputs)))
+            if not remote_same:
+                payload["identical"] = False
+            remote_lookups += 1
+            remote_hits += 1 if hit else 0
+            remote_cell = "%s %s" % (_fmt(remote_s),
+                                     "hit" if hit else "MISS")
+            remote_info = {"remote_compile_s": remote_s,
+                           "remote_hit": hit,
+                           "bit_identical": remote_same}
+
         identical = len(cold_outputs) == len(warm_outputs)
         for left, right in zip(cold_outputs, warm_outputs):
             if (left.dtype != right.dtype or left.shape != right.shape
@@ -462,13 +507,17 @@ def warm_start_table(title, programs, store, repeats=1):
         table.add(figure, label, best_cold, warm_s,
                   speedup(best_cold, warm_s),
                   "hit" if disk_hit else "MISS",
+                  remote_cell,
                   "yes" if identical else "NO")
-        payload["figures"][figure + "/" + label] = {
+        entry = {
             "cold_compile_s": best_cold,
             "warm_compile_s": warm_s,
             "disk_hit": disk_hit,
             "bit_identical": identical,
         }
+        if remote_info is not None:
+            entry["remote"] = remote_info
+        payload["figures"][figure + "/" + label] = entry
     after = store.stats()
     lookups = (after["hits"] - before["hits"]) + (after["misses"]
                                                   - before["misses"])
@@ -476,6 +525,9 @@ def warm_start_table(title, programs, store, repeats=1):
                            if lookups else 0.0)
     payload["cold_compiles"] = after["misses"] - before["misses"]
     payload["store"] = after
+    if remote:
+        payload["remote_hit_rate"] = (remote_hits / remote_lookups
+                                      if remote_lookups else 0.0)
     return table, payload
 
 

@@ -21,6 +21,9 @@ fault point           effect at its injection site
                       quarantine and recompile)
 ``slow_chunk``        a dataset takes ``delay_s`` longer than it should
                       (the watchdog must NOT false-positive on it)
+``service_unreachable``  a kernel-service HTTP request raises
+                      ``OSError`` (the client must warn once and
+                      degrade to the local tiers)
 ====================  ===================================================
 
 A *plan* maps fault names to firing rules:
@@ -93,6 +96,9 @@ FAULT_POINTS = {
                            "(the store must quarantine and recompile)",
     "slow_chunk": "a dataset sleeps delay_s seconds (default 0.05) "
                   "before executing (watchdog false-positive canary)",
+    "service_unreachable": "a kernel-service HTTP request fails with "
+                           "OSError (the client must degrade to the "
+                           "local tiers, never fail the compile)",
 }
 
 #: Keys with structural meaning in a fault rule; everything else is a
@@ -296,6 +302,8 @@ def _fire(name, params):
         raise ShmAttachError("chaos-injected shm attach failure")
     elif name == "store_read_error":
         raise OSError("chaos-injected store read error")
+    elif name == "service_unreachable":
+        raise OSError("chaos-injected service unreachable")
     # store_corrupt_entry fires through mangle(), not here.
 
 

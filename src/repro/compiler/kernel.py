@@ -87,24 +87,15 @@ from repro.util.errors import BindingError, SpecError
 #: ``.so`` sibling when one is present).
 SPEC_VERSION = 3
 
-#: Backend names ``compile_kernel`` accepts: ``"python"`` ``exec``s
-#: emitted Python source, ``"c"`` compiles the same optimized target IR
-#: to a per-kernel shared object (falling back to python per kernel
-#: for constructs the C emitter does not cover, or when no C compiler
-#: is installed — see :mod:`repro.codegen`).
-BACKENDS = ("python", "c")
-
-#: The values ``compile_kernel``'s ``cache`` argument accepts: ``True``
-#: uses every configured tier (memory LRU in front of the on-disk
-#: store), ``"memory"``/``"disk"`` restrict to one tier, ``False``
-#: always compiles fresh and touches no cache.
-CACHE_MODES = (True, False, "memory", "disk")
-
-#: The values ``compile_kernel``'s ``tune`` argument accepts:
-#: ``"off"`` compiles the program exactly as written, ``"apply"``
-#: consults the persisted autotuner winners table (:mod:`repro.tune`)
-#: and compiles the winning schedule when one is on record.
-TUNE_MODES = ("off", "apply")
+# The option vocabulary (BACKENDS / CACHE_MODES / TUNE_MODES) and the
+# frozen CompileOptions bundle live in repro.compiler.options; they are
+# re-exported here because this module historically defined them.
+from repro.compiler.options import (  # noqa: F401  (re-exports)
+    BACKENDS,
+    CACHE_MODES,
+    TUNE_MODES,
+    CompileOptions,
+)
 
 
 def _plain(value):
@@ -126,12 +117,15 @@ def _frozen(value):
 def normalize_backend(backend):
     """Resolve a ``backend`` argument to a validated backend name.
 
-    ``None`` reads the ``FL_KERNEL_BACKEND`` environment variable
-    (default ``"python"``), so a whole process — or a whole CI job —
-    can be flipped to the C backend without touching call sites.
+    ``None`` falls through the package precedence rule
+    (``fl.configure(backend=...)``, then ``FL_KERNEL_BACKEND``,
+    default ``"python"`` — see :mod:`repro.util.config`), so a whole
+    process — or a whole CI job — can be flipped to the C backend
+    without touching call sites.
     """
-    if backend is None:
-        backend = os.environ.get("FL_KERNEL_BACKEND") or "python"
+    from repro.util import config
+
+    backend = config.resolve("backend", override=backend)
     if backend not in BACKENDS:
         raise ValueError(
             "backend must be one of %s; got %r"
@@ -142,12 +136,15 @@ def normalize_backend(backend):
 def normalize_tune(tune):
     """Resolve a ``tune`` argument to a validated tune mode.
 
-    ``None`` reads the ``FL_KERNEL_TUNE`` environment variable
-    (default ``"off"``), so a whole process — or a whole CI job — can
-    be flipped onto the tuned schedules without touching call sites.
+    ``None`` falls through the package precedence rule
+    (``fl.configure(tune=...)``, then ``FL_KERNEL_TUNE``, default
+    ``"off"`` — see :mod:`repro.util.config`), so a whole process —
+    or a whole CI job — can be flipped onto the tuned schedules
+    without touching call sites.
     """
-    if tune is None:
-        tune = os.environ.get("FL_KERNEL_TUNE") or "off"
+    from repro.util import config
+
+    tune = config.resolve("tune", override=tune)
     if tune not in TUNE_MODES:
         raise ValueError(
             "tune must be one of %s; got %r"
@@ -811,22 +808,71 @@ def _identity_pinned(tensor, signature):
     return contains(signature)
 
 
+def _artifact_from_remote(spec, so_bytes, store, meta):
+    """Materialize a remote-tier hit: rebuild the fetched spec (with
+    its ``.so`` sidecar bytes, when the service had one) and
+    write-behind into the local disk tier.  Returns None when the
+    fetched spec does not rebuild — the wire equivalent of a
+    quarantined entry, read as a miss."""
+    import tempfile
+
+    tmp = None
+    try:
+        if so_bytes:
+            fd, tmp = tempfile.mkstemp(suffix=".so",
+                                       prefix="fl-remote-")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(so_bytes)
+        try:
+            artifact = CompiledKernel.from_spec(spec, so_path=tmp)
+        except Exception:
+            return None
+        if store is not None:
+            store.save_spec(meta, spec,
+                            so_path=artifact.so_path or tmp)
+        return artifact
+    finally:
+        if tmp is not None:
+            try:
+                # Safe even while the artifact holds the dlopened
+                # handle: the inode outlives the unlink.
+                os.remove(tmp)
+            except OSError:
+                pass
+
+
 def compile_kernel(program, instrument=False, name="kernel",
-                   constant_loop_rewrite=True, cache=True,
-                   opt_level=None, backend=None, tune=None):
+                   constant_loop_rewrite=True, cache=None,
+                   opt_level=None, backend=None, tune=None,
+                   remote=None, store=None, options=None):
     """Compile one CIN program into a :class:`Kernel`.
 
-    With ``cache=True`` (the default) the compiled artifact is looked
-    up in — and stored into — every configured cache tier: the
-    process-wide :class:`KernelCache` first, then the persistent
-    on-disk :class:`~repro.store.KernelStore` (when one is configured
-    via :func:`repro.store.configure_store` or the ``FL_KERNEL_STORE``
-    environment variable).  A disk hit rebuilds the artifact from its
-    serialized spec and promotes it into the memory tier; a full miss
-    compiles fresh and writes the artifact behind into both tiers.
-    ``cache="memory"`` and ``cache="disk"`` restrict the lookup to one
-    tier, and ``cache=False`` always compiles fresh and leaves every
-    cache (and its statistics) untouched.
+    The compile configuration is one :class:`CompileOptions` value:
+    pass it as ``options=``, or use the individual keyword arguments
+    (``cache=``, ``opt_level=``, ``backend=``, ``tune=``, ``remote=``,
+    ``store=``) as sugar — a kwarg passed alongside ``options=``
+    overrides that one field.  Fields left unset resolve through the
+    package precedence rule (per-call kwarg > ``fl.configure`` >
+    ``FL_*`` env > default; see :mod:`repro.util.config`).
+
+    With ``cache=True`` (the resolved default) the compiled artifact
+    is looked up in — and stored into — every configured cache tier:
+    the process-wide :class:`KernelCache` first, then the persistent
+    on-disk :class:`~repro.store.KernelStore` (``fl.configure(
+    store_path=...)`` / ``FL_KERNEL_STORE``; re-point per call with
+    ``store=``), then the remote kernel service
+    (:mod:`repro.service`; ``fl.configure(service_url=...)`` /
+    ``FL_SERVICE_URL`` / ``remote=``).  A disk or remote hit rebuilds
+    the artifact from its serialized spec and promotes it into the
+    tiers above; a full miss compiles fresh and writes the artifact
+    behind into every tier (the remote push rides an async
+    server-side compile queue).  An unreachable service degrades to
+    the local tiers with a warn-once log line — the remote tier can
+    never fail a compile.  ``cache="memory"`` and ``cache="disk"``
+    restrict the lookup to one local tier (the remote tier
+    participates only in full ``cache=True`` operation), and
+    ``cache=False`` always compiles fresh and leaves every cache (and
+    its statistics) untouched.
 
     ``opt_level`` selects the target-IR optimizer pipeline
     (:mod:`repro.ir.optimize`): 0 emits the lowered code untouched, 1
@@ -865,7 +911,12 @@ def compile_kernel(program, instrument=False, name="kernel",
     as ``.tuned``.
     """
     check_program(program)
-    tune = normalize_tune(tune)
+    opts = CompileOptions.build(options, cache=cache,
+                                opt_level=opt_level, backend=backend,
+                                tune=tune, remote=remote, store=store)
+    tune = normalize_tune(opts.tune)
+    opt_level = opts.opt_level
+    backend = opts.backend
     tuned = False
     if tune == "apply":
         # Imported lazily: repro.tune compiles candidates through this
@@ -876,17 +927,23 @@ def compile_kernel(program, instrument=False, name="kernel",
             program, constant_loop_rewrite=constant_loop_rewrite)
         if tuning is not None:
             program = _tune.apply_schedule(program, tuning)
-            # Explicit caller arguments always win over the table.
+            # Explicit caller arguments always win over the table —
+            # and the table (a measured decision) wins over the
+            # configure/env layers (static ones).
             if opt_level is None:
                 opt_level = tuning.get("opt_level")
             if backend is None:
                 backend = tuning.get("backend")
             tuned = True
     tensors = program_tensors(program)
+    from repro.util import config as _config
+
+    opt_level = _config.resolve("opt_level", override=opt_level)
     if opt_level is None:
         opt_level = DEFAULT_OPT_LEVEL
     opt_level = int(opt_level)
     backend = normalize_backend(backend)
+    cache = True if opts.cache is None else opts.cache
     # Identity comparison: `1 in (True, ...)` would pass by equality
     # and then silently disable every tier below.
     if not any(cache is mode for mode in CACHE_MODES):
@@ -895,6 +952,9 @@ def compile_kernel(program, instrument=False, name="kernel",
             % (cache,))
     use_memory = cache is True or cache == "memory"
     use_disk = cache is True or cache == "disk"
+    # The remote tier participates only in full read-through mode: a
+    # caller narrowing to one local tier is asking for locality.
+    use_remote = cache is True
     skey = structural_key(program)
     key = None
     if use_memory:
@@ -906,45 +966,81 @@ def compile_kernel(program, instrument=False, name="kernel",
             return Kernel(artifact, tensors, program, from_cache=True,
                           tuned=tuned)
     store = None
+    meta = None
     if use_disk:
         # Imported lazily: repro.store rebuilds artifacts through this
         # module, so a top-level import would be circular.
-        from repro.store import active_store
+        from repro.store import resolve_store
 
-        store = active_store()
+        store = resolve_store(opts.store)
         if store is not None:
-            artifact = store.load_artifact(store.key_meta(
+            meta = store.key_meta(
                 skey, instrument=bool(instrument), name=name,
                 constant_loop_rewrite=bool(constant_loop_rewrite),
-                opt_level=opt_level, backend=backend))
+                opt_level=opt_level, backend=backend)
+            artifact = store.load_artifact(meta)
             if artifact is not None:
                 if key is not None:
                     KERNEL_CACHE.store(key, artifact)
                 return Kernel(artifact, tensors, program,
                               from_cache=True, tuned=tuned)
+    client = None
+    if use_remote:
+        from repro.service.client import active_client
+
+        client = active_client(opts.remote)
+        if client is not None:
+            if meta is None:
+                from repro.store.disk import store_key_meta
+
+                meta = store_key_meta(
+                    skey, instrument=bool(instrument), name=name,
+                    constant_loop_rewrite=bool(constant_loop_rewrite),
+                    opt_level=opt_level, backend=backend)
+            fetched = client.fetch(meta)
+            if fetched is not None:
+                artifact = _artifact_from_remote(
+                    fetched[0], fetched[1], store, meta)
+                if artifact is not None:
+                    if key is not None:
+                        KERNEL_CACHE.store(key, artifact)
+                    return Kernel(artifact, tensors, program,
+                                  from_cache=True, tuned=tuned)
     artifact = _compile_artifact(program, tensors, instrument, name,
                                  constant_loop_rewrite, opt_level,
                                  structural_key=skey, backend=backend)
     if key is not None:
         KERNEL_CACHE.store(key, artifact)
-    if store is not None:
-        # Write-behind: persists the spec for future processes; a
+    if store is not None or client is not None:
+        # Write-behind: persists the spec for future processes (and
+        # pushes it to the fleet service's async compile queue); a
         # kernel that cannot leave the process (SpecError) is simply
         # not persisted.
-        store.save_artifact(artifact)
+        try:
+            spec = artifact.to_spec()
+        except SpecError:
+            spec = None
+        if spec is not None:
+            if store is not None:
+                store.save_spec(meta, spec, so_path=artifact.so_path)
+            if client is not None:
+                client.push(meta, spec)
     return Kernel(artifact, tensors, program, tuned=tuned)
 
 
-def execute(program, instrument=False, cache=True, opt_level=None,
-            backend=None):
+def execute(program, instrument=False, cache=None, opt_level=None,
+            backend=None, options=None):
     """Compile and run a program once.
 
     Returns the op count when instrumented, else None.  Results land in
     the program's output tensors.  Routed through the kernel cache, so
     executing the same program structure repeatedly pays for lowering
     only once.  ``backend`` selects ``"python"`` or ``"c"`` kernel
-    execution (``None`` reads ``FL_KERNEL_BACKEND``); see
-    :func:`compile_kernel` for cache-key and fallback semantics.
+    execution (``None`` reads ``fl.configure(backend=...)`` then
+    ``FL_KERNEL_BACKEND``); ``options`` takes a whole
+    :class:`CompileOptions` bundle.  See :func:`compile_kernel` for
+    cache-key and fallback semantics.
     """
     return compile_kernel(program, instrument=instrument, cache=cache,
-                          opt_level=opt_level, backend=backend).run()
+                          opt_level=opt_level, backend=backend,
+                          options=options).run()

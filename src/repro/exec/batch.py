@@ -337,16 +337,18 @@ class KernelPool:
 
     # -- statistics ----------------------------------------------------
     def _record(self, worker, ops, seconds, spec_rebuild,
-                store_hit=False):
+                store_hit=False, remote_hit=False):
         with self._stats_lock:
             entry = self._worker_stats.setdefault(
                 worker, {"runs": 0, "ops": 0, "seconds": 0.0,
-                         "spec_rebuilds": 0, "store_hits": 0})
+                         "spec_rebuilds": 0, "store_hits": 0,
+                         "remote_hits": 0})
             entry["runs"] += 1
             entry["ops"] += ops or 0
             entry["seconds"] += seconds
             entry["spec_rebuilds"] += 1 if spec_rebuild else 0
             entry["store_hits"] += 1 if store_hit else 0
+            entry["remote_hits"] += 1 if remote_hit else 0
 
     def _add_overhead(self, **stages):
         with self._stats_lock:
@@ -396,6 +398,8 @@ class KernelPool:
                                  for e in workers.values()),
             "store_hits": sum(e.get("store_hits", 0)
                               for e in workers.values()),
+            "remote_hits": sum(e.get("remote_hits", 0)
+                               for e in workers.values()),
             "workers": workers,
             "overhead": overhead,
             "faults": faults,
@@ -749,7 +753,8 @@ class KernelPool:
                            for slot in self._output_slots]
                 self._record(entry["worker"], entry["ops"],
                              entry["seconds"], entry["spec_rebuild"],
-                             entry.get("store_hit", False))
+                             entry.get("store_hit", False),
+                             entry.get("remote_hit", False))
                 items.append(BatchItem(index, outputs, entry["ops"],
                                        entry["worker"],
                                        entry["seconds"]))
@@ -765,9 +770,9 @@ class KernelPool:
 
 
 def run_batch(program, datasets, executor="serial", max_workers=None,
-              instrument=False, opt_level=None, cache=True,
+              instrument=False, opt_level=None, cache=None,
               on_failure="raise", max_retries=None, deadline_s=None,
-              backend=None):
+              backend=None, options=None):
     """Compile ``program`` once and map it over ``datasets``.
 
     ``datasets`` is a sequence where each element is either a name ->
@@ -781,8 +786,11 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     calls).
 
     ``backend`` selects kernel execution: ``"python"`` or ``"c"``
-    (``None`` reads ``FL_KERNEL_BACKEND``; see
-    :func:`~repro.compiler.kernel.compile_kernel`).  C kernels release
+    (``None`` reads ``fl.configure(backend=...)`` then
+    ``FL_KERNEL_BACKEND``; see
+    :func:`~repro.compiler.kernel.compile_kernel`), and ``options``
+    takes a whole :class:`~repro.compiler.options.CompileOptions`
+    bundle — the individual kwargs are sugar over it.  C kernels release
     the GIL during each call, so the ``threads`` executor actually
     scales with them; process-pool workers rebuild C kernels from the
     shipped spec (recompiling, or warm-starting the shared object off
@@ -802,7 +810,7 @@ def run_batch(program, datasets, executor="serial", max_workers=None,
     """
     kernel = compile_kernel(program, instrument=instrument,
                             cache=cache, opt_level=opt_level,
-                            backend=backend)
+                            backend=backend, options=options)
     with KernelPool(kernel, executor=executor,
                     max_workers=max_workers, on_failure=on_failure,
                     max_retries=max_retries,

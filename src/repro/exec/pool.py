@@ -582,14 +582,56 @@ class WorkerPool:
 _default_pool = None
 _default_lock = threading.Lock()
 
+#: WorkerPool constructor argument -> the config option that feeds it
+#: (see :mod:`repro.util.config`).
+POOL_OPTION_ARGS = {
+    "max_workers": "pool_max_workers",
+    "start_method": "pool_start_method",
+    "chunk_target_s": "pool_chunk_target_s",
+    "deadline_s": "pool_deadline_s",
+    "max_retries": "pool_max_retries",
+    "backoff_s": "pool_backoff_s",
+}
+
+
+def _config_pool_kwargs():
+    """The :class:`WorkerPool` constructor kwargs the config resolver
+    currently prescribes (``fl.configure(pool_*=...)`` /
+    ``FL_POOL_*``); unset options are omitted so the pool's own
+    defaults apply."""
+    from repro.util import config
+
+    kwargs = {}
+    for arg, option in POOL_OPTION_ARGS.items():
+        value = config.resolve(option)
+        if value is not None:
+            kwargs[arg] = value
+    return kwargs
+
 
 def default_pool():
     """The process-wide warm pool, created on first use and shared by
-    every ``KernelPool`` that does not bring its own."""
+    every ``KernelPool`` that does not bring its own.  Its shape comes
+    from the config resolver (``fl.configure(pool_*=...)``, then the
+    ``FL_POOL_*`` environment, then machine defaults)."""
     global _default_pool
     with _default_lock:
         if _default_pool is None or _default_pool.closed:
-            _default_pool = WorkerPool()
+            _default_pool = WorkerPool(**_config_pool_kwargs())
+        return _default_pool
+
+
+def rebuild_default_if_open():
+    """Close-and-respawn the default pool so a config change takes
+    effect immediately — but only when one is actually running (a
+    lazy process keeps its lazy start).  Called by
+    :func:`repro.util.config.configure` when pool options change."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None or _default_pool.closed:
+            return None
+        _default_pool.close()
+        _default_pool = WorkerPool(**_config_pool_kwargs())
         return _default_pool
 
 
@@ -598,27 +640,37 @@ def configure_pool(max_workers=None, start_method=None,
                    max_retries=None, backoff_s=None):
     """Replace the default pool with one of the given shape.
 
-    Closes the current default (its warm state is dropped) and returns
-    the new pool.  ``chunk_target_s`` tunes how much measured work one
-    IPC round-trip should carry; ``deadline_s`` pins the watchdog
-    deadline (instead of the EMA-derived default), ``max_retries`` and
-    ``backoff_s`` tune the transient-failure retry policy.
+    A thin shim over ``fl.configure(pool_*=...)`` (see
+    :mod:`repro.util.config`), kept for source compatibility — with
+    replace semantics: options not passed here fall back to their
+    environment/default values, the current default pool is closed
+    (its warm state dropped), and the new pool is returned.
+    ``chunk_target_s`` tunes how much measured work one IPC
+    round-trip should carry; ``deadline_s`` pins the watchdog
+    deadline (instead of the EMA-derived default), ``max_retries``
+    and ``backoff_s`` tune the transient-failure retry policy.
     """
+    from repro.util import config
+
+    provided = {
+        option: value
+        for option, value in zip(
+            POOL_OPTION_ARGS.values(),
+            (max_workers, start_method, chunk_target_s, deadline_s,
+             max_retries, backoff_s))
+        if value is not None
+    }
+    # replace(), not configure(): the shim clears every pool override
+    # first (replace semantics predate the front door) and rebuilds
+    # the pool itself — unconditionally, unlike configure(), because
+    # configure_pool() with no arguments has always meant "give me a
+    # fresh machine-default pool".
+    config.replace(config.POOL_OPTION_NAMES, provided)
     global _default_pool
     with _default_lock:
         if _default_pool is not None and not _default_pool.closed:
             _default_pool.close()
-        kwargs = {}
-        if chunk_target_s is not None:
-            kwargs["chunk_target_s"] = chunk_target_s
-        if deadline_s is not None:
-            kwargs["deadline_s"] = deadline_s
-        if max_retries is not None:
-            kwargs["max_retries"] = max_retries
-        if backoff_s is not None:
-            kwargs["backoff_s"] = backoff_s
-        _default_pool = WorkerPool(max_workers=max_workers,
-                                   start_method=start_method, **kwargs)
+        _default_pool = WorkerPool(**_config_pool_kwargs())
         return _default_pool
 
 

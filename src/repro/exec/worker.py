@@ -59,11 +59,16 @@ def _spec_key(spec):
 def artifact_from_spec(spec):
     """The rebuilt artifact for ``spec``, memoized per process.
 
-    Returns ``(artifact, cached, store_hit)``: ``cached`` says the
-    re-``exec`` was skipped entirely (the per-worker memo hit);
-    ``store_hit`` says the rebuild came off the persistent disk store
-    rather than the shipped spec.  A store miss writes the spec behind
-    so future worker fleets warm-start.
+    Returns ``(artifact, cached, store_hit, remote_hit)``: ``cached``
+    says the re-``exec`` was skipped entirely (the per-worker memo
+    hit); ``store_hit`` says the rebuild came off the persistent disk
+    store rather than the shipped spec; ``remote_hit`` says it came
+    off the fleet kernel service (consulted after a disk miss, when a
+    service URL is configured — the worker inherits ``FL_SERVICE_URL``
+    like every ``FL_*`` knob).  A miss writes the spec behind into the
+    local store so future worker fleets warm-start; the *parent* owns
+    the remote push, so a thousand workers never stampede the service
+    with the same entry.
     """
     from repro.compiler.kernel import CompiledKernel
     from repro.store import active_store, meta_for_spec
@@ -72,13 +77,30 @@ def artifact_from_spec(spec):
     artifact = _ARTIFACTS.get(key)
     if artifact is not None:
         _ARTIFACTS.move_to_end(key)
-        return artifact, True, False
+        return artifact, True, False, False
     store = active_store()
+    meta = meta_for_spec(spec)
     store_hit = False
+    remote_hit = False
     if store is not None:
-        meta = meta_for_spec(spec)
         artifact = store.load_artifact(meta)
         store_hit = artifact is not None
+    if artifact is None and spec.get("c_source"):
+        # The worker already holds the spec (it shipped with the
+        # chunk), so the remote tier is only worth a round-trip when
+        # it can deliver what the spec cannot: the prebuilt ``.so``
+        # sidecar, sparing this worker a local C-toolchain compile.
+        from repro.service.client import active_client
+
+        client = active_client()
+        if client is not None:
+            fetched = client.fetch(meta)
+            if fetched is not None:
+                from repro.compiler.kernel import _artifact_from_remote
+
+                artifact = _artifact_from_remote(
+                    fetched[0], fetched[1], store, meta)
+                remote_hit = artifact is not None
     if artifact is None:
         artifact = CompiledKernel.from_spec(spec)
         if store is not None:
@@ -88,7 +110,7 @@ def artifact_from_spec(spec):
     _ARTIFACTS[key] = artifact
     while len(_ARTIFACTS) > _ARTIFACT_MEMO_CAP:
         _ARTIFACTS.popitem(last=False)
-    return artifact, False, store_hit
+    return artifact, False, store_hit, remote_hit
 
 
 def snapshot_tensor(tensor):
@@ -115,7 +137,7 @@ def run_spec_task(spec, tensors, index, output_slots):
     seconds, artifact-cache flag).
     """
     start = time.perf_counter()
-    artifact, cached, store_hit = artifact_from_spec(spec)
+    artifact, cached, store_hit, remote_hit = artifact_from_spec(spec)
     args = artifact.bind(tensors)
     result = artifact.fn(*args)
     outputs = [snapshot_tensor(tensors[slot]) for slot in output_slots]
@@ -129,6 +151,7 @@ def run_spec_task(spec, tensors, index, output_slots):
         "seconds": time.perf_counter() - start,
         "spec_rebuild": not cached,
         "store_hit": store_hit,
+        "remote_hit": remote_hit,
     }
 
 
@@ -189,7 +212,8 @@ def run_chunk(chunk, cache, mark=None):
                     _chaos.inject("worker_stall", index=index)
                     _chaos.inject("slow_chunk", index=index)
                 start = time.perf_counter()
-                artifact, cached, store_hit = artifact_from_spec(spec)
+                artifact, cached, store_hit, remote_hit = \
+                    artifact_from_spec(spec)
                 args = _shm.build_args(payload, chunk.get("staging"),
                                        cache)
                 result = artifact.fn(*args)
@@ -202,6 +226,7 @@ def run_chunk(chunk, cache, mark=None):
                     "seconds": seconds,
                     "spec_rebuild": not cached,
                     "store_hit": store_hit,
+                    "remote_hit": remote_hit,
                     "obj_updates": {
                         j: dict(payload["objs"][j].__dict__)
                         for j in payload["obj_outputs"]},

@@ -52,6 +52,7 @@ from repro.compiler.kernel import (
     execute,
     kernel_cache,
 )
+from repro.compiler.options import CompileOptions
 from repro.exec import (
     EXECUTORS,
     BatchItem,
@@ -71,6 +72,7 @@ from repro.store import (
     load_pack,
 )
 from repro.tensors.output import RunOutput, SparseOutput
+from repro.util.config import configure, runtime_config
 from repro.tensors.share import share_dataset, share_tensor
 from repro.tensors import (
     Scalar,
@@ -104,6 +106,23 @@ def __getattr__(name):
         return {"tune_program": tune_program,
                 "lookup_schedule": lookup_schedule,
                 "apply_schedule": apply_schedule}[name]
+    # And for the kernel service: most sessions never talk to one, so
+    # the HTTP client/server stack only loads when a name is touched.
+    if name in ("KernelService", "ServiceClient", "active_client",
+                "service_stats", "reset_service_stats"):
+        from repro.service import (
+            KernelService,
+            ServiceClient,
+            active_client,
+            reset_service_stats,
+            service_stats,
+        )
+
+        return {"KernelService": KernelService,
+                "ServiceClient": ServiceClient,
+                "active_client": active_client,
+                "service_stats": service_stats,
+                "reset_service_stats": reset_service_stats}[name]
     raise AttributeError("module %r has no attribute %r"
                          % (__name__, name))
 
@@ -118,6 +137,9 @@ __all__ = [
     "BatchItem", "BatchResult", "EXECUTORS", "KernelPool", "ShmArena",
     "WorkerPool", "configure_pool", "default_pool", "run_batch",
     "KernelStore", "active_store", "configure_store", "load_pack",
+    "CompileOptions", "configure", "runtime_config",
+    "KernelService", "ServiceClient", "active_client",
+    "reset_service_stats", "service_stats",
     "chaos", "fault_points",
     "fuzz_one", "run_fuzz",
     "apply_schedule", "lookup_schedule", "tune_program",

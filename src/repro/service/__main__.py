@@ -1,0 +1,80 @@
+"""``python -m repro.service`` — run the fleet kernel service.
+
+Examples::
+
+    # Serve an existing (warm) store on an explicit port:
+    python -m repro.service --store .fl_store --port 8090
+
+    # Warm the store from a pack first, then serve, sharing packs:
+    python -m repro.service --store .fl_store --warm kernels.flpack \\
+        --packs-dir packs/ --port 8090
+
+The service is read-mostly infrastructure: clients GET entries by
+digest and POST freshly compiled specs, which an async queue rebuilds
+(producing the ``.so`` sidecar server-side) and persists.  Point
+clients at it with ``FL_SERVICE_URL=http://host:port``,
+``fl.configure(service_url=...)``, or ``compile_kernel(...,
+remote=...)``.
+"""
+
+import argparse
+import logging
+import sys
+
+from repro.service.server import KernelService
+from repro.store import KernelStore
+from repro.store.pack import PackError, load_pack
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a kernel store to a fleet over HTTP.")
+    parser.add_argument("--store", required=True,
+                        help="kernel-store directory to serve")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8090,
+                        help="bind port (default 8090; 0 = ephemeral)")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        help="store size budget (LRU eviction past it)")
+    parser.add_argument("--packs-dir", default=None,
+                        help="directory served under GET /packs/")
+    parser.add_argument("--warm", default=None, metavar="PACK",
+                        help="import this .flpack into the store "
+                             "before serving")
+    parser.add_argument("--warm-base", default=None, metavar="PACK",
+                        help="base pack layered under a --warm diff "
+                             "pack")
+    return parser
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    store = KernelStore(args.store, max_bytes=args.max_bytes)
+    if args.warm:
+        try:
+            summary = load_pack(args.warm, store=store, memory=False,
+                                base=args.warm_base)
+        except PackError as exc:
+            print("error: %s" % exc)
+            return 1
+        print("warmed %s: %d loaded, %d stale, %d error(s)"
+              % (store.root, summary["loaded"], summary["stale"],
+                 summary["errors"]))
+    service = KernelService(store, host=args.host, port=args.port,
+                            packs_dir=args.packs_dir)
+    print("serving kernel store %s on %s" % (store.root, service.url),
+          flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,16 @@ Two artifacts live here, both built on the serialized kernel spec
     jobs (and :func:`load_pack` callers) import it so their processes
     start warm and compile nothing.
 
-Configuration is process-global, mirroring the memory tier:
-:func:`configure_store` installs a store programmatically, the
+Configuration routes through the package-wide resolver
+(:mod:`repro.util.config`) under the one precedence rule — per-call
+kwarg > ``fl.configure`` > ``FL_*`` env > default: ``fl.configure(
+store_path=..., store_max_bytes=...)`` owns the knobs,
+:func:`configure_store` survives as a thin delegating shim, the
 ``FL_KERNEL_STORE`` environment variable (plus optional
 ``FL_KERNEL_STORE_MAX_BYTES``) points short-lived processes — batch
 workers, CI jobs, serverless handlers — at a shared directory, and
-``compile_kernel(cache="memory"|"disk"|False)`` opts out per call.
+``compile_kernel(cache="memory"|"disk"|False, store=...)`` opts out
+(or re-points) per call.
 
 The CLI lives in :mod:`repro.store.__main__`::
 
@@ -52,67 +56,87 @@ from repro.store.pack import (
     write_pack,
 )
 
-#: Environment variables configuring the default store.
+#: Environment variables configuring the default store (resolved via
+#: :mod:`repro.util.config`; kept as names for callers and tests).
 ENV_STORE = "FL_KERNEL_STORE"
 ENV_MAX_BYTES = "FL_KERNEL_STORE_MAX_BYTES"
 
-_configured = False
-_active = None
+#: Per-process memo of the env/config-resolved store instance, keyed
+#: by ``(root, max_bytes)`` so repeated ``active_store()`` calls do
+#: not re-stat the directory.
+_memo = {"key": None, "store": None}
 
 
 def configure_store(path, max_bytes=None):
     """Install (or disable) the process-wide kernel store.
 
-    ``path`` may be a directory path, an existing :class:`KernelStore`,
-    or None to disable disk caching for the process regardless of the
-    environment.  Returns the active store (or None).  Overrides the
-    ``FL_KERNEL_STORE`` environment variable until called again;
-    :func:`reset_store_config` restores environment-driven behavior.
+    A thin shim over ``fl.configure(store_path=..., store_max_bytes=
+    ...)`` (see :mod:`repro.util.config`), kept for source
+    compatibility.  ``path`` may be a directory path, an existing
+    :class:`KernelStore`, or None to disable disk caching for the
+    process regardless of the environment.  Returns the active store
+    (or None).  Overrides the ``FL_KERNEL_STORE`` environment variable
+    until called again; :func:`reset_store_config` restores
+    environment-driven behavior.
 
     Kernels compiled with ``backend="c"`` store their shared object as
     a ``.so`` sidecar next to the spec, so warm starts skip the C
     compiler entirely; missing or stale sidecars are rebuilt from the
     stored C source.
     """
-    global _configured, _active
-    if path is None:
-        store = None
-    elif isinstance(path, KernelStore):
-        store = path
-    else:
-        store = KernelStore(path, max_bytes=max_bytes)
-    _configured = True
-    _active = store
-    return store
+    from repro.util import config
+
+    config.replace(config.STORE_OPTION_NAMES,
+                   {"store_path": path, "store_max_bytes": max_bytes})
+    return active_store()
 
 
 def reset_store_config():
     """Forget :func:`configure_store`; fall back to the environment."""
-    global _configured, _active
-    _configured = False
-    _active = None
+    from repro.util import config
+
+    config.clear(*config.STORE_OPTION_NAMES)
 
 
 def active_store():
     """The store ``compile_kernel`` should use right now, or None.
 
-    An explicit :func:`configure_store` wins; otherwise the
-    ``FL_KERNEL_STORE`` environment variable is consulted on every
-    call (so spawned workers and subprocesses inherit the parent's
-    store with no code changes).
+    Resolved through the package precedence rule on every call
+    (``fl.configure(store_path=...)`` wins, else ``FL_KERNEL_STORE``
+    is consulted — so spawned workers and subprocesses inherit the
+    parent's store with no code changes), with the built
+    :class:`KernelStore` instance memoized per ``(root, max_bytes)``.
     """
-    global _active
-    if _configured:
-        return _active
-    path = os.environ.get(ENV_STORE)
+    from repro.util import config
+
+    path = config.resolve("store_path")
     if not path:
         return None
-    max_bytes = os.environ.get(ENV_MAX_BYTES)
-    max_bytes = int(max_bytes) if max_bytes else None
-    if (_active is None or _active.root != os.path.abspath(path)
-            or _active.max_bytes != max_bytes):
-        _active = KernelStore(path, max_bytes=max_bytes)
-    return _active
+    if isinstance(path, KernelStore):
+        return path
+    max_bytes = config.resolve("store_max_bytes")
+    key = (os.path.abspath(path), max_bytes)
+    if _memo["key"] != key:
+        _memo["store"] = KernelStore(path, max_bytes=max_bytes)
+        _memo["key"] = key
+    return _memo["store"]
+
+
+def resolve_store(value):
+    """One compile's disk tier for a ``store=`` argument.
+
+    ``None`` resolves the active store (configure/env layers),
+    ``False`` disables the disk tier for the call, a
+    :class:`KernelStore` is used as-is, and a path string opens (or
+    creates) that directory.
+    """
+    if value is None:
+        return active_store()
+    if value is False:
+        return None
+    if isinstance(value, KernelStore):
+        return value
+    return KernelStore(value)
 
 
 @contextmanager
@@ -122,18 +146,19 @@ def using_store(store):
     The benchmark harness and the tests use this to point one compile
     at one store without leaking process-global state.
     """
-    global _configured, _active
-    previous = (_configured, _active)
+    from repro.util import config
+
+    previous = config.snapshot(config.STORE_OPTION_NAMES)
     try:
         yield configure_store(store)
     finally:
-        _configured, _active = previous
+        config.restore(previous, config.STORE_OPTION_NAMES)
 
 
 __all__ = [
     "KernelStore", "PACK_VERSION", "active_store",
     "codegen_fingerprint", "configure_store", "entry_digest",
     "load_pack", "meta_for_artifact", "meta_for_spec", "read_pack",
-    "reset_store_config", "store_key_meta", "using_store",
-    "verify_pack", "write_pack",
+    "reset_store_config", "resolve_store", "store_key_meta",
+    "using_store", "verify_pack", "write_pack",
 ]

@@ -58,6 +58,9 @@ def _build_parser():
                       help="also pack the kernels of one deterministic "
                            "fuzz campaign (e.g. 0:200:quick — the CI "
                            "smoke campaign)")
+    pack.add_argument("--base", default=None,
+                      help="emit a diff pack: entries already in this "
+                           ".flpack are listed, not re-packed")
     pack.add_argument("--note", default="",
                       help="free-text provenance recorded in the "
                            "manifest")
@@ -70,12 +73,17 @@ def _build_parser():
     warm.add_argument("--pack", default=None,
                       help="import this .flpack (default: compile the "
                            "figure+corpus set directly into the store)")
+    warm.add_argument("--base", default=None,
+                      help="base .flpack layered under a diff pack")
     warm.add_argument("--max-bytes", type=int, default=None,
                       help="store size budget (LRU eviction past it)")
     warm.add_argument("--quiet", action="store_true")
 
     verify = sub.add_parser("verify", help="deep-check one pack")
     verify.add_argument("pack", help=".flpack path")
+    verify.add_argument("--base", default=None,
+                        help="base .flpack resolving a diff pack's "
+                             "deferred digests")
 
     ls = sub.add_parser("ls", help="list pack or store entries")
     group = ls.add_mutually_exclusive_group(required=True)
@@ -119,16 +127,23 @@ def _cmd_pack(args, log):
         log("compiling fuzz-campaign kernels (seed=%d budget=%d "
             "profile=%s) ..." % (seed, budget, profile))
         entries += campaign_entries(seed, budget, profile, log=log)
-    summary = write_pack(args.out, entries, note=args.note)
-    print("packed %d kernel(s) -> %s" % (summary["count"],
-                                         summary["path"]))
+    summary = write_pack(args.out, entries, note=args.note,
+                         base=args.base)
+    if args.base:
+        print("packed %d kernel(s) -> %s (%d deferred to base %s)"
+              % (summary["count"], summary["path"],
+                 summary["deferred"], args.base))
+    else:
+        print("packed %d kernel(s) -> %s" % (summary["count"],
+                                             summary["path"]))
     return 0
 
 
 def _cmd_warm(args, log):
     store = KernelStore(args.store, max_bytes=args.max_bytes)
     if args.pack:
-        summary = load_pack(args.pack, store=store, memory=False)
+        summary = load_pack(args.pack, store=store, memory=False,
+                            base=args.base)
         print("warmed %s: %d loaded, %d stale, %d error(s) from %s"
               % (store.root, summary["loaded"], summary["stale"],
                  summary["errors"], args.pack))
@@ -148,11 +163,19 @@ def _cmd_warm(args, log):
 
 
 def _cmd_verify(args):
-    report = verify_pack(args.pack)
+    report = verify_pack(args.pack, base=args.base)
     print("pack %s: %d entr%s, %d rebuilt, %d stale"
           % (report["path"], report["count"],
              "y" if report["count"] == 1 else "ies",
              report["rebuilt"], len(report["stale"])))
+    if report["deferred"]:
+        if args.base:
+            print("  layered: %d digest(s) deferred to %s, %d missing"
+                  % (report["deferred"], args.base,
+                     len(report["unresolved"])))
+        else:
+            print("  layered: %d digest(s) deferred to a base pack "
+                  "(pass --base to resolve them)" % report["deferred"])
     for error in report["errors"]:
         print("  ERROR %s" % error)
     if not report["ok"]:

@@ -75,6 +75,17 @@ STORE_VERSION = 1
 #: Filename prefix of one store entry.
 _ENTRY_PREFIX = "k_"
 
+#: Entries live under two-hex-character shard directories
+#: (``<root>/ab/k_ab....json``) so a fleet-scale store never piles
+#: tens of thousands of files into one directory (directory-listing
+#: and rename costs grow with entry count on most filesystems, and
+#: the kernel service lists by digest prefix).  Two hex characters can
+#: never collide with the reserved ``quarantine``/``tunings``
+#: directory names.  Stores written by earlier versions used a flat
+#: layout; :meth:`KernelStore.entry_path_for_digest` migrates flat
+#: entries into their shard transparently on first touch.
+_SHARD_CHARS = 2
+
 #: Filename prefix of one tuning record (``tunings/``).
 _TUNING_PREFIX = "t_"
 
@@ -400,43 +411,142 @@ class KernelStore:
                               backend)
 
     def _entry_path(self, meta):
-        return os.path.join(self.root,
-                            _ENTRY_PREFIX + entry_digest(meta) + ".json")
+        return self.entry_path_for_digest(entry_digest(meta))
+
+    def entry_path_for_digest(self, digest):
+        """The sharded spec path addressing ``digest`` — whether or
+        not an entry exists there yet.
+
+        The single place the shard-by-digest-prefix layout is decided,
+        and the migration point for stores written under the old flat
+        layout: when the sharded path is empty but a flat
+        ``<root>/k_<digest>.json`` exists, the flat entry (and its
+        ``.so`` sidecar) is moved into its shard before the path is
+        returned, so pre-shard stores keep serving hits with no warm
+        cost beyond one rename per entry.
+        """
+        path = os.path.join(self.root, digest[:_SHARD_CHARS],
+                            _ENTRY_PREFIX + digest + ".json")
+        if not os.path.exists(path):
+            legacy = os.path.join(self.root,
+                                  _ENTRY_PREFIX + digest + ".json")
+            if os.path.exists(legacy):
+                self._migrate_entry(legacy, path)
+        return path
+
+    def _migrate_entry(self, legacy, path):
+        """Move one flat-layout entry into its shard directory.
+
+        Spec first, sidecar second — both renames are atomic, and a
+        reader racing the window between them merely rebuilds the
+        ``.so`` from the spec's carried C source (a slow hit, never a
+        wrong one).  A racing migrator loses the ``os.replace`` and
+        backs off.
+        """
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            os.replace(legacy, path)
+        except OSError:
+            return  # raced: another process migrated or evicted it
+        try:
+            os.replace(self._so_sibling(legacy),
+                       self._so_sibling(path))
+        except OSError:
+            pass  # python-backend entry: no sidecar
 
     @staticmethod
     def _so_sibling(path):
         """The shared-object sidecar of one ``.json`` entry path."""
         return path[:-len(".json")] + ".so"
 
-    def _entry_files(self):
-        """(path, size, mtime) of every entry, oldest mtime first.
-
-        ``path`` is always the ``.json`` spec; ``size`` includes the
-        ``.so`` sidecar when one exists, so eviction accounts the full
-        footprint of a C-backend entry.
-        """
-        entries = []
+    def _shard_dirs(self):
+        """The shard directories that exist right now, plus the root
+        itself (pre-migration flat entries still live there)."""
+        dirs = [self.root]
         try:
             names = os.listdir(self.root)
         except OSError:
             return []
         for name in names:
-            if not (name.startswith(_ENTRY_PREFIX)
-                    and name.endswith(".json")):
+            if len(name) != _SHARD_CHARS:
+                continue
+            if any(c not in "0123456789abcdef" for c in name):
                 continue
             path = os.path.join(self.root, name)
+            if os.path.isdir(path):
+                dirs.append(path)
+        return dirs
+
+    def _entry_files(self):
+        """(path, size, mtime) of every entry, oldest mtime first.
+
+        Walks every shard directory plus the flat root (entries a
+        pre-shard process wrote and nothing migrated yet).  ``path``
+        is always the ``.json`` spec; ``size`` includes the ``.so``
+        sidecar when one exists, so eviction accounts the full
+        footprint of a C-backend entry.
+        """
+        entries = []
+        for directory in self._shard_dirs():
             try:
-                info = os.stat(path)
+                names = os.listdir(directory)
             except OSError:
-                continue  # concurrently evicted
-            size = info.st_size
-            try:
-                size += os.stat(self._so_sibling(path)).st_size
-            except OSError:
-                pass  # python-backend entry: no sidecar
-            entries.append((path, size, info.st_mtime))
+                continue
+            for name in names:
+                if not (name.startswith(_ENTRY_PREFIX)
+                        and name.endswith(".json")):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue  # concurrently evicted
+                size = info.st_size
+                try:
+                    size += os.stat(self._so_sibling(path)).st_size
+                except OSError:
+                    pass  # python-backend entry: no sidecar
+                entries.append((path, size, info.st_mtime))
         entries.sort(key=lambda item: (item[2], item[0]))
         return entries
+
+    def read_entry(self, digest):
+        """The raw stored entry addressed by ``digest``, served as
+        ``(entry, so_path)`` — the kernel service's lookup primitive.
+
+        ``entry`` is the persisted ``{"store_version", "key", "spec"}``
+        payload with the recorded key verified to hash back to
+        ``digest`` (a mismatch reads as a miss — tamper and collision
+        defense, same as :meth:`load_spec`); ``so_path`` is the
+        sidecar's path when one exists, else None.  Returns ``(None,
+        None)`` on a miss or any defect.  Deliberately does *not*
+        touch the persisted hit/miss counters: the service keeps its
+        own, and a remote fleet's traffic must not masquerade as local
+        lookups.
+        """
+        path = self.entry_path_for_digest(digest)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+            if entry.get("store_version") != STORE_VERSION:
+                raise ValueError("store version mismatch")
+            if entry_digest(entry.get("key")) != digest:
+                raise ValueError("entry key does not hash to %s"
+                                 % digest)
+        except OSError:
+            return None, None
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self._bump(quarantined=1)
+            return None, None
+        try:
+            os.utime(path)  # LRU touch: served entries stay resident
+        except OSError:
+            pass
+        so_path = self._so_sibling(path)
+        if not os.path.exists(so_path):
+            so_path = None
+        return entry, so_path
 
     # -- reads ---------------------------------------------------------
     def load_spec(self, meta):
@@ -556,6 +666,7 @@ class KernelStore:
             sort_keys=True, separators=(",", ":"))
         try:
             with self._lock():
+                os.makedirs(os.path.dirname(path), exist_ok=True)
                 tmp = path + ".tmp.%d" % os.getpid()
                 with open(tmp, "w") as handle:
                     handle.write(payload)

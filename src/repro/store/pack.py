@@ -21,6 +21,7 @@ exactly one place per pipeline.
 """
 
 import json
+import os
 import zipfile
 
 from repro.store.disk import (
@@ -63,7 +64,7 @@ def _meta_axes(meta):
     }
 
 
-def write_pack(path, entries, note=""):
+def write_pack(path, entries, note="", base=None):
     """Write ``entries`` as one ``.flpack``; returns a summary dict.
 
     Each entry is a dict with ``key`` (store key meta), ``spec`` (the
@@ -71,12 +72,32 @@ def write_pack(path, entries, note=""):
     Entries are deduplicated by content digest — the figure registry
     legitimately names one kernel twice (e.g. a kernel shared by two
     benchmark tests).
+
+    ``base`` (a ``.flpack`` path) turns the output into a *diff pack*:
+    entries whose content digest already lives in the base are not
+    written again — only new or changed kernels carry bytes.  Because
+    digests are content-addressed, a changed kernel simply hashes to a
+    new digest and is included; an unchanged one is listed in the
+    manifest's ``base_digests`` so :func:`verify_pack` and
+    :func:`load_pack` can resolve the full set against the base layer.
+    This keeps the artifacts a long-lived kernel service republishes
+    flat: day-to-day packs ship only the delta.
     """
+    base_digests = set()
+    if base is not None:
+        base_manifest, _ = read_pack(base)
+        base_digests = {listed["digest"]
+                        for listed in base_manifest.get("entries", [])}
+        base_digests.update(base_manifest.get("base_digests", []))
     manifest_entries = []
     by_digest = {}
+    deferred = []
     for entry in entries:
         digest = entry_digest(entry["key"])
-        if digest in by_digest:
+        if digest in by_digest or digest in deferred:
+            continue
+        if digest in base_digests:
+            deferred.append(digest)
             continue
         by_digest[digest] = entry
         manifest_entries.append({
@@ -94,6 +115,8 @@ def write_pack(path, entries, note=""):
         "note": note,
         "count": len(manifest_entries),
         "entries": manifest_entries,
+        "base": os.path.basename(base) if base else "",
+        "base_digests": sorted(deferred),
     })
     with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
         archive.writestr("manifest.json",
@@ -105,7 +128,8 @@ def write_pack(path, entries, note=""):
                             "figure": entry.get("figure", ""),
                             "label": entry.get("label", "")},
                            sort_keys=True, separators=(",", ":")))
-    return {"path": path, "count": len(manifest_entries)}
+    return {"path": path, "count": len(manifest_entries),
+            "deferred": len(deferred)}
 
 
 def read_pack(path):
@@ -148,13 +172,20 @@ def read_pack(path):
     return manifest, entries
 
 
-def verify_pack(path):
+def verify_pack(path, base=None):
     """Deep-verify one pack; returns a report dict.
 
     Beyond :func:`read_pack`'s digest checks, every spec is actually
     rebuilt (``from_spec`` re-``exec``\\ s the carried source), and
     entries built under different version axes than the running code
     are listed as ``stale``.
+
+    Layered packs (built with ``write_pack(..., base=...)``) list the
+    digests they expect their base layer to carry.  Passing ``base``
+    resolves them: every listed digest must actually exist in the base
+    pack or the report fails.  Without ``base``, the deferred digests
+    are reported as ``unresolved`` — informational, not a failure, so
+    a diff pack still self-verifies.
     """
     from repro.compiler.kernel import CompiledKernel
 
@@ -171,17 +202,33 @@ def verify_pack(path):
         except Exception as exc:
             errors.append("%s: %s: %s" % (entry["digest"],
                                           type(exc).__name__, exc))
+    rebuilt = len(entries) - len(stale) - len(errors)
+    deferred = list(manifest.get("base_digests", []))
+    unresolved = list(deferred)
+    if base is not None and deferred:
+        base_manifest, _ = read_pack(base)
+        have = {listed["digest"]
+                for listed in base_manifest.get("entries", [])}
+        have.update(base_manifest.get("base_digests", []))
+        unresolved = [digest for digest in deferred
+                      if digest not in have]
+        for digest in unresolved:
+            errors.append("%s: listed in base_digests but missing "
+                          "from base pack %s" % (digest, base))
     return {
         "path": path,
         "count": len(entries),
-        "rebuilt": len(entries) - len(stale) - len(errors),
+        "rebuilt": rebuilt,
         "stale": stale,
+        "base": base,
+        "deferred": len(deferred),
+        "unresolved": unresolved,
         "errors": errors,
         "ok": not errors,
     }
 
 
-def load_pack(path, store=None, memory=True):
+def load_pack(path, store=None, memory=True, base=None):
     """Import a pack's kernels into the process's cache tiers.
 
     ``store`` is a :class:`~repro.store.disk.KernelStore` (default:
@@ -194,6 +241,10 @@ def load_pack(path, store=None, memory=True):
     (spec layout, op registry, optimizer/codegen fingerprints) differ
     from the running code are skipped as stale, never served.
 
+    For a diff pack, ``base`` names the base layer: it is loaded
+    first, then the diff layers its new/changed entries on top — one
+    call imports the full set.
+
     Returns a summary dict: ``loaded`` / ``stale`` / ``errors``.
     """
     from repro.compiler.kernel import (
@@ -205,6 +256,10 @@ def load_pack(path, store=None, memory=True):
 
     if store is None:
         store = active_store()
+    if base is not None:
+        base_summary = load_pack(base, store=store, memory=memory)
+    else:
+        base_summary = {"loaded": 0, "stale": 0, "errors": 0}
     _, entries = read_pack(path)
     axes = _current_axes()
     loaded = stale = errors = 0
@@ -222,8 +277,11 @@ def load_pack(path, store=None, memory=True):
         if store is not None:
             store.save_spec(entry["key"], entry["spec"])
         loaded += 1
-    return {"path": path, "loaded": loaded, "stale": stale,
-            "errors": errors, "store": getattr(store, "root", None),
+    return {"path": path,
+            "loaded": loaded + base_summary["loaded"],
+            "stale": stale + base_summary["stale"],
+            "errors": errors + base_summary["errors"],
+            "store": getattr(store, "root", None),
             "memory": bool(memory)}
 
 

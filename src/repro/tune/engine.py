@@ -105,6 +105,7 @@ def tune_program(make_program, label="program", opt_levels=(1, 2),
     """
     from repro.bench.harness import median_time_kernel
     from repro.compiler.kernel import compile_kernel
+    from repro.compiler.options import CompileOptions
     from repro.fuzz.conform import reference_outputs, verify_candidate
     from repro.store import active_store, using_store
     from repro.store.disk import entry_digest
@@ -162,6 +163,7 @@ def tune_program(make_program, label="program", opt_levels=(1, 2),
         try:
             variant = _sched.apply_schedule(program, candidate)
             with using_store(store):
+                # One frozen options bundle per candidate.
                 # tune="off" unconditionally: the search must measure
                 # the candidate as enumerated, never re-apply the very
                 # table it is rebuilding (FL_KERNEL_TUNE=apply in the
@@ -169,9 +171,10 @@ def tune_program(make_program, label="program", opt_levels=(1, 2),
                 kernel = compile_kernel(
                     variant,
                     constant_loop_rewrite=constant_loop_rewrite,
-                    opt_level=candidate["opt_level"],
-                    backend=candidate["backend"],
-                    tune="off")
+                    options=CompileOptions(
+                        opt_level=candidate["opt_level"],
+                        backend=candidate["backend"],
+                        tune="off"))
         except Exception as exc:
             record["error"] = "%s: %s" % (type(exc).__name__, exc)
             continue

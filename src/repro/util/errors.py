@@ -174,6 +174,19 @@ class StoreIOError(TransientError):
     """
 
 
+class ServiceUnreachableError(TransientError):
+    """The remote kernel service could not be reached.
+
+    Raised by :class:`repro.service.client.ServiceClient` after its
+    timeout/retry budget is exhausted — connection refused, DNS
+    failure, or a request timing out.  Transient by taxonomy (the
+    service may come back), but the compile path never *retries on
+    it*: the client catches it, emits a warn-once log line, and
+    degrades to the local tiers so a dead service costs one timeout
+    per cooldown window, never a failed compile.
+    """
+
+
 class BatchExecutionError(ReproError):
     """A batched kernel run failed on one dataset.
 

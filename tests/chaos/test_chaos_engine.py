@@ -121,7 +121,8 @@ def test_fault_points_registry_is_exported():
     points = chaos.fault_points()
     assert set(points) == {
         "worker_crash", "worker_stall", "shm_attach_fail",
-        "store_read_error", "store_corrupt_entry", "slow_chunk"}
+        "store_read_error", "store_corrupt_entry", "slow_chunk",
+        "service_unreachable"}
     assert all(points.values())
 
 

@@ -190,7 +190,7 @@ def test_run_chunk_in_process():
     template = dot_program(*make_pair(0))
     kernel = fl.compile_kernel(template, instrument=True)
     spec = kernel.to_spec()
-    artifact, _, _ = worker_mod.artifact_from_spec(spec)
+    artifact, _, _, _ = worker_mod.artifact_from_spec(spec)
     digest = "test-digest"
 
     def chunk_for(tensors, index, include_spec):

@@ -1,0 +1,202 @@
+"""The kernel service's HTTP surface: routes, queue, stats schema.
+
+Drives a real :class:`~repro.service.KernelService` on an ephemeral
+port through raw ``urllib`` requests — the same wire a fleet client
+uses — and checks each route's contract: entry serving with the
+recorded key, digest validation, the async compile queue's dedup, the
+pack route's name hygiene, and the ``stats.json``-schema counters.
+"""
+
+import base64
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.compiler.kernel import kernel_cache
+from repro.service import KernelService
+from repro.store import (
+    entry_digest,
+    meta_for_artifact,
+    reset_store_config,
+    write_pack,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    kernel_cache().clear()
+    reset_store_config()
+    yield
+    kernel_cache().clear()
+    reset_store_config()
+
+
+@pytest.fixture
+def service(tmp_path):
+    packs = tmp_path / "packs"
+    packs.mkdir()
+    with KernelService(tmp_path / "store",
+                       packs_dir=str(packs)) as svc:
+        yield svc
+
+
+def dot_program(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    A = fl.from_numpy(rng.random(n), ("dense",), name="A")
+    B = fl.from_numpy(rng.random(n), ("dense",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+
+
+def seed_entry(service, n=50):
+    """Compile one kernel straight into the service's store; returns
+    ``(digest, meta, spec)``."""
+    kernel = fl.compile_kernel(dot_program(n=n), cache=False)
+    meta = meta_for_artifact(kernel.artifact)
+    spec = kernel.artifact.to_spec()
+    service.store.save_spec(meta, spec)
+    return entry_digest(meta), meta, spec
+
+
+def get(service, path):
+    try:
+        with urllib.request.urlopen(service.url + path,
+                                    timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def post(service, path, payload):
+    request = urllib.request.Request(
+        service.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def test_healthz(service):
+    status, body = get(service, "/healthz")
+    payload = json.loads(body)
+    assert status == 200
+    assert payload["ok"] is True
+    assert payload["store"] == service.store.root
+
+
+def test_unknown_routes_404(service):
+    assert get(service, "/nope")[0] == 404
+    assert post(service, "/nope", {})[0] == 404
+
+
+def test_get_kernel_serves_entry_with_recorded_key(service):
+    digest, meta, spec = seed_entry(service)
+    status, body = get(service, "/kernels/" + digest)
+    payload = json.loads(body)
+    assert status == 200
+    assert payload["key"] == meta
+    assert payload["spec"]["name"] == spec["name"]
+    assert payload["so"] is None or isinstance(
+        base64.b64decode(payload["so"]), bytes)
+
+
+def test_get_kernel_miss_and_malformed(service):
+    assert get(service, "/kernels/" + "0" * 40)[0] == 404
+    assert get(service, "/kernels/not-a-digest")[0] == 400
+    assert get(service, "/kernels/" + "Z" * 40)[0] == 400
+    stats = service.stats()
+    assert stats["misses"] == 1  # malformed digests are not misses
+    assert stats["hits"] == 0
+
+
+def test_post_compile_queues_and_dedups(service):
+    kernel = fl.compile_kernel(dot_program(n=60), cache=False)
+    entry = {"key": meta_for_artifact(kernel.artifact),
+             "spec": kernel.artifact.to_spec()}
+    status, body = post(service, "/compile", entry)
+    first = json.loads(body)
+    assert status == 202
+    assert first["queued"] is True
+    assert first["digest"] == entry_digest(entry["key"])
+    service.queue.join()
+    # The queue rebuilt and stored the entry; a re-push dedups.
+    assert service.store.stats()["entries"] == 1
+    status, body = post(service, "/compile", entry)
+    assert status == 202
+    assert json.loads(body)["queued"] is False
+    counters = service.queue.counters()
+    assert counters["compiled"] == 1
+    assert counters["deduped"] == 1
+    assert counters["errors"] == 0
+    # The stored entry is now servable.
+    assert get(service, "/kernels/" + first["digest"])[0] == 200
+
+
+def test_post_compile_rejects_garbage(service):
+    assert post(service, "/compile", {"nope": 1})[0] == 400
+    assert post(service, "/compile", {"key": {}, "spec": "text"})[0] \
+        == 400
+    request = urllib.request.Request(
+        service.url + "/compile", data=b"{ not json",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            status = response.status
+    except urllib.error.HTTPError as exc:
+        status = exc.code
+    assert status == 400
+    assert service.queue.counters()["queued"] == 0
+
+
+def test_queue_rejects_specs_that_do_not_rebuild(service):
+    kernel = fl.compile_kernel(dot_program(n=70), cache=False)
+    spec = dict(kernel.artifact.to_spec())
+    spec["source"] = "this is not python ("
+    status, _ = post(service, "/compile",
+                     {"key": meta_for_artifact(kernel.artifact),
+                      "spec": spec})
+    assert status == 202  # accepted for the queue ...
+    service.queue.join()
+    # ... but rejected at rebuild: never stored, counted as an error.
+    assert service.store.stats()["entries"] == 0
+    assert service.queue.counters()["errors"] == 1
+
+
+def test_pack_route(service, tmp_path):
+    kernel = fl.compile_kernel(dot_program(), cache=False)
+    pack_path = tmp_path / "packs" / "kernels.flpack"
+    write_pack(str(pack_path),
+               [{"key": meta_for_artifact(kernel.artifact),
+                 "spec": kernel.artifact.to_spec()}])
+    status, body = get(service, "/packs/kernels.flpack")
+    assert status == 200
+    assert body == pack_path.read_bytes()
+    assert get(service, "/packs/missing.flpack")[0] == 404
+    assert get(service, "/packs/kernels.zip")[0] == 404
+    assert get(service, "/packs/..%2Fsecrets.flpack")[0] == 404
+    assert service.stats()["pack_downloads"] == 1
+
+
+def test_stats_schema(service):
+    digest, _, _ = seed_entry(service)
+    get(service, "/kernels/" + digest)
+    get(service, "/kernels/" + "0" * 40)
+    stats = json.loads(get(service, "/stats")[1])
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    # The same shape stats.json consumers already parse, plus the
+    # queue and the backing store's own counters.
+    for key in ("pushes", "pack_downloads", "queue_depth",
+                "queue_queued", "queue_deduped", "queue_compiled",
+                "queue_errors"):
+        assert key in stats, key
+    assert stats["store"]["entries"] == 1

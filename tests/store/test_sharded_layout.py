@@ -1,0 +1,177 @@
+"""The shard-by-digest-prefix store layout and flat-store migration.
+
+Entries land under ``<root>/<digest[:2]>/k_<digest>.json`` so a
+fleet-scale store never piles tens of thousands of files into one
+directory.  Stores written by pre-shard code (entries flat in the
+root) must keep working: reads see them, and touching one migrates it
+into its shard directory transparently.  ``read_entry`` — the kernel
+service's lookup primitive — is covered here too.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro.lang as fl
+from repro.compiler.kernel import kernel_cache
+from repro.store import KernelStore, entry_digest, using_store
+from repro.store.disk import _ENTRY_PREFIX, _SHARD_CHARS
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    kernel_cache().clear()
+    yield
+    kernel_cache().clear()
+
+
+def dot_program(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    a = np.zeros(n)
+    a[rng.choice(n, 6, replace=False)] = 1.0
+    A = fl.from_numpy(a, ("sparse",), name="A")
+    B = fl.from_numpy(rng.random(n), ("dense",), name="B")
+    C = fl.Scalar(name="C")
+    i = fl.indices("i")
+    return fl.forall(i, fl.increment(C[()], A[i] * B[i]))
+
+
+def store_one(store, seed=0, **opts):
+    with using_store(store):
+        kernel = fl.compile_kernel(dot_program(seed=seed), **opts)
+    return kernel
+
+
+def sole_entry_path(store):
+    paths = [path for path, _, _ in store._entry_files()]
+    assert len(paths) == 1, paths
+    return paths[0]
+
+
+def flatten(store, path):
+    """Demote one sharded entry to the legacy flat layout."""
+    flat = os.path.join(store.root, os.path.basename(path))
+    os.replace(path, flat)
+    so = path[:-len(".json")] + ".so"
+    if os.path.exists(so):
+        os.replace(so, flat[:-len(".json")] + ".so")
+    return flat
+
+
+def test_entries_land_in_shard_directories(tmp_path):
+    store = KernelStore(tmp_path)
+    store_one(store)
+    path = sole_entry_path(store)
+    shard = os.path.basename(os.path.dirname(path))
+    name = os.path.basename(path)
+    assert len(shard) == _SHARD_CHARS
+    assert name.startswith(_ENTRY_PREFIX)
+    digest = name[len(_ENTRY_PREFIX):-len(".json")]
+    assert digest[:_SHARD_CHARS] == shard
+
+
+def test_flat_entry_read_through_and_migrated(tmp_path):
+    store = KernelStore(tmp_path)
+    store_one(store)
+    flat = flatten(store, sole_entry_path(store))
+    assert os.path.exists(flat)
+
+    # A fresh process over the demoted store: the lookup still hits
+    # (zero compiles) and migrates the entry into its shard dir.
+    kernel_cache().clear()
+    fresh = KernelStore(tmp_path)
+    kernel = store_one(fresh, seed=1)
+    assert kernel.from_cache
+    assert not os.path.exists(flat)
+    migrated = sole_entry_path(fresh)
+    assert os.path.dirname(migrated) != str(tmp_path).rstrip(os.sep)
+    assert (os.path.basename(os.path.dirname(migrated))
+            == os.path.basename(flat)[len(_ENTRY_PREFIX):][:_SHARD_CHARS])
+
+
+def test_flat_entries_visible_to_walkers(tmp_path):
+    store = KernelStore(tmp_path)
+    store_one(store, seed=0)
+    store_one(store, seed=0, opt_level=1)
+    # Demote one of the two; both must still be enumerated.
+    paths = [path for path, _, _ in store._entry_files()]
+    assert len(paths) == 2
+    flatten(store, paths[0])
+    assert len(store._entry_files()) == 2
+    assert store.stats()["entries"] == 2
+
+
+def test_eviction_covers_both_layouts(tmp_path):
+    store = KernelStore(tmp_path)
+    store_one(store, seed=0)
+    flat = flatten(store, sole_entry_path(store))
+    # Writing into a tiny-budget store sweeps LRU entries; the flat
+    # legacy entry is fair game even though it never migrated.
+    small = KernelStore(tmp_path, max_bytes=1)
+    kernel_cache().clear()
+    store_one(small, seed=0, opt_level=1)
+    assert not os.path.exists(flat)
+    assert small.stats()["evictions"] >= 1
+
+
+def test_read_entry_round_trip(tmp_path):
+    store = KernelStore(tmp_path)
+    store_one(store)
+    path = sole_entry_path(store)
+    digest = os.path.basename(path)[len(_ENTRY_PREFIX):-len(".json")]
+    entry, so_path = store.read_entry(digest)
+    assert entry is not None
+    assert set(entry) >= {"store_version", "key", "spec"}
+    assert entry_digest(entry["key"]) == digest
+    # The spec rebuilds into a working kernel.
+    from repro.compiler.kernel import CompiledKernel
+
+    artifact = CompiledKernel.from_spec(entry["spec"])
+    assert artifact is not None
+    if so_path is not None:
+        assert os.path.exists(so_path)
+
+
+def test_read_entry_misses_and_rejects_defects(tmp_path):
+    store = KernelStore(tmp_path)
+    assert store.read_entry("0" * 40) == (None, None)
+    store_one(store)
+    path = sole_entry_path(store)
+    digest = os.path.basename(path)[len(_ENTRY_PREFIX):-len(".json")]
+    with open(path, "w") as handle:
+        handle.write("{ not json")
+    entry, so_path = store.read_entry(digest)
+    assert entry is None and so_path is None
+    # The defective entry was quarantined, not left to fail again.
+    assert not os.path.exists(path)
+
+
+def test_read_entry_rejects_digest_mismatch(tmp_path):
+    store = KernelStore(tmp_path)
+    store_one(store)
+    path = sole_entry_path(store)
+    digest = os.path.basename(path)[len(_ENTRY_PREFIX):-len(".json")]
+    with open(path) as handle:
+        entry = json.load(handle)
+    entry["key"]["name"] = "tampered"
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+    assert store.read_entry(digest) == (None, None)
+
+
+def test_concurrent_migration_single_survivor(tmp_path):
+    """Two stores racing the same flat entry: exactly one migrated
+    copy survives and both read it."""
+    store = KernelStore(tmp_path)
+    store_one(store)
+    flatten(store, sole_entry_path(store))
+    left = KernelStore(tmp_path)
+    right = KernelStore(tmp_path)
+    kernel_cache().clear()
+    a = store_one(left, seed=1)
+    kernel_cache().clear()
+    b = store_one(right, seed=2)
+    assert a.from_cache and b.from_cache
+    assert len(left._entry_files()) == 1
